@@ -1,0 +1,52 @@
+"""Extended evaluation: coverage matrix of every known march test.
+
+Not a single paper table, but the union of the coverage claims the
+paper makes in Sections 1 and 6: linked-fault-blind tests lose coverage
+on the linked lists, the linked-fault tests reach 100 %, and the
+generated tests match the published ones.  The matrix makes all of it
+visible at once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.compare import coverage_matrix
+from repro.march.known import ALL_KNOWN
+from repro.sim.coverage import CoverageOracle
+
+EXPECTED_COMPLETE_ON_FL1 = {"March ABL", "March SL", "43n March Test"}
+EXPECTED_COMPLETE_ON_FL2 = {
+    "March ABL", "March RABL", "March ABL1", "March SL", "March LF1",
+    "43n March Test", "March SS",
+}
+
+
+def test_coverage_matrix_all_known(benchmark, fl1, fl2, simple_faults,
+                                   results_dir):
+    tests = [km.test for km in ALL_KNOWN.values()]
+    lists = {"FL#1": fl1, "FL#2": fl2, "simple": simple_faults}
+    table = benchmark.pedantic(
+        lambda: coverage_matrix(tests, lists), rounds=1, iterations=1)
+    emit(results_dir, "coverage_matrix", table.render())
+
+
+def test_complete_coverage_claims(benchmark, fl1, fl2, results_dir):
+    """Assert the exact 100 % membership sets on both lists."""
+    oracle1 = CoverageOracle(fl1)
+    oracle2 = CoverageOracle(fl2)
+
+    def classify():
+        complete1 = {
+            name for name, km in ALL_KNOWN.items()
+            if oracle1.evaluate(km.test).complete}
+        complete2 = {
+            name for name, km in ALL_KNOWN.items()
+            if oracle2.evaluate(km.test).complete}
+        return complete1, complete2
+
+    complete1, complete2 = benchmark.pedantic(
+        classify, rounds=1, iterations=1)
+    assert complete1 == EXPECTED_COMPLETE_ON_FL1
+    assert complete2 == EXPECTED_COMPLETE_ON_FL2

@@ -1,0 +1,47 @@
+"""Figure 2 reproduction: the fault-free memory model G0 (n = 2).
+
+The figure draws a labelled digraph with 4 states (00, 01, 10, 11) and,
+per state, edges for every write (``w0i``, ``w1i``, ``w0j``, ``w1j``),
+the two reads and the wait operation.  We rebuild it, assert the exact
+structure and export the DOT source.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.table import TextTable
+from repro.faults.operations import read, write
+from repro.memory.graph import build_memory_graph
+
+
+def test_fig2_g0_structure(benchmark, results_dir):
+    graph = benchmark(lambda: build_memory_graph(2))
+    # |V| = 2^n = 4; |E| = (3n + 1) * 2^n = 28 labelled edges.
+    assert graph.vertex_count() == 4
+    assert graph.edge_count() == 28
+    # Spot-check transitions visible in the published figure.
+    assert graph.edge_for((0, 0), write(1, 0)).dst == (1, 0)
+    assert graph.edge_for((0, 1), write(0, 1)).dst == (0, 0)
+    assert graph.edge_for((1, 1), read(None, 0)).label == "r[0]/1"
+    table = TextTable(["property", "value"])
+    table.add_row(["states", graph.vertex_count()])
+    table.add_row(["labelled edges", graph.edge_count()])
+    table.add_row(["out-degree per state", 7])
+    emit(results_dir, "fig2_g0_structure", table.render())
+
+
+def test_fig2_g0_dot_export(benchmark, results_dir):
+    graph = build_memory_graph(2)
+    dot = benchmark(graph.to_dot)
+    assert dot.startswith("digraph")
+    (results_dir / "fig2_g0.dot").write_text(dot + "\n")
+    print(f"\nDOT written to {results_dir / 'fig2_g0.dot'}")
+
+
+@pytest.mark.parametrize("cells", [1, 2, 3, 4])
+def test_g0_scaling(benchmark, cells, results_dir):
+    """Graph construction scales as (3n + 1) * 2^n edges."""
+    graph = benchmark(lambda: build_memory_graph(cells))
+    assert graph.edge_count() == (3 * cells + 1) * 2 ** cells

@@ -1,0 +1,63 @@
+"""Figure 3 reproduction: linked test-pattern chaining.
+
+Figure 3 shows a linked fault drawn as two chained faulty edges: the
+first test pattern leaves the memory in ``Fv1`` which equals ``I2``,
+the initial state of the second pattern (Definition 7).  We regenerate
+the chain for the paper's equation (13) pair and benchmark AFP
+enumeration over the whole of Fault List #1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.table import TextTable
+from repro.core.afp import afps_for_bound_primitive, linked_afp_chains
+from repro.faults.library import fp_by_name
+from repro.faults.linked import LinkedFault, Topology
+from repro.memory.injection import FaultInstance
+from repro.sim.coverage import make_instances
+
+
+def test_fig3_equation_13_chain(benchmark, results_dir):
+    """(00, w[0]1, 11, 10) -> (11, w[0]0, 00, 01): the paper's chain."""
+    fault = LinkedFault(
+        fp_by_name("CFds_0w1_v0"), fp_by_name("CFds_1w0_v1"),
+        Topology.LF2AA)
+    instance = FaultInstance.from_linked(fault, (0, 1))
+    chains = benchmark(lambda: linked_afp_chains(instance, 2))
+    assert len(chains) == 1
+    afp1, afp2 = chains[0]
+    assert afp2.initial == afp1.faulty          # I2 = Fv1
+    victim = afp1.victim
+    assert afp2.faulty[victim] != afp1.faulty[victim]  # F2 = NOT F1
+    table = TextTable(["component", "AFP (I, Es, Fv, Gv)", "test pattern"])
+    table.add_row(["FP1", afp1.notation(),
+                   afp1.to_test_pattern().notation()])
+    table.add_row(["FP2", afp2.notation(),
+                   afp2.to_test_pattern().notation()])
+    emit(results_dir, "fig3_linked_chain", table.render())
+
+
+def test_fig3_afp_enumeration_over_fault_list(benchmark, fl1, results_dir):
+    """AFP expansion of the full Fault List #1 on the 3-cell model."""
+
+    def expand_all():
+        total_afps = 0
+        direct_chains = 0
+        for fault in fl1:
+            for instance in make_instances(fault, 3):
+                for bound in instance.primitives:
+                    total_afps += len(afps_for_bound_primitive(bound, 3))
+                direct_chains += len(linked_afp_chains(instance, 3))
+        return total_afps, direct_chains
+
+    total_afps, direct_chains = benchmark.pedantic(
+        expand_all, rounds=1, iterations=1)
+    assert total_afps > len(fl1)
+    table = TextTable(["metric", "value"])
+    table.add_row(["linked faults", len(fl1)])
+    table.add_row(["addressed fault primitives", total_afps])
+    table.add_row(["directly chained AFP pairs (Def. 7)", direct_chains])
+    emit(results_dir, "fig3_afp_enumeration", table.render())

@@ -1,0 +1,67 @@
+"""Figure 4 reproduction: the pattern graph PG_CF.
+
+Figure 4 draws the 2-cell pattern graph of the linked disturb-coupling
+fault of equations (12)-(14): G0 plus two bold faulty edges,
+``00 ->[w1_i, r0_j] 11`` and ``11 ->[w0_i, r1_j] 00``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.dot import pgcf_example_graph
+from repro.analysis.table import TextTable
+from repro.core.pattern_graph import PatternGraph
+from repro.sim.coverage import make_instances
+
+
+def test_fig4_pgcf_structure(benchmark, results_dir):
+    graph, instance = benchmark(pgcf_example_graph)
+    assert graph.vertex_count() == 4
+    assert len(graph.faulty_edges) == 2
+    by_src = {edge.src: edge for edge in graph.faulty_edges}
+    assert by_src[(0, 0)].dst == (1, 1)
+    assert by_src[(0, 0)].label == "w[0]1,r[1]0"
+    assert by_src[(1, 1)].dst == (0, 0)
+    assert by_src[(1, 1)].label == "w[0]0,r[1]1"
+    table = TextTable(["faulty edge", "label", "component"])
+    for edge in graph.faulty_edges:
+        table.add_row([
+            f"{''.join(map(str, edge.src))} -> "
+            f"{''.join(map(str, edge.dst))}",
+            edge.label, f"FP{edge.component}"])
+    emit(results_dir, "fig4_pgcf_edges", table.render())
+    (results_dir / "fig4_pgcf.dot").write_text(
+        graph.to_dot("PGCF") + "\n")
+
+
+def test_fig4_masking_pairs_definition8(benchmark, results_dir):
+    """Definition 8 on PG_CF: the two bold edges mask each other."""
+    graph, _ = pgcf_example_graph()
+    pairs = benchmark(graph.masking_pairs)
+    assert len(pairs) == 2  # each edge masks the other (cycle)
+    table = TextTable(["masking edge", "masked edge"])
+    for masking, masked in pairs:
+        table.add_row([masking.label, masked.label])
+    emit(results_dir, "fig4_masking_pairs", table.render())
+
+
+def test_fig4_full_pattern_graph_construction(benchmark, fl1, results_dir):
+    """Pattern-graph construction over the whole Fault List #1 --
+    the structure the generation algorithm walks each iteration."""
+
+    def build():
+        graph = PatternGraph(3)
+        for fault in fl1:
+            for instance in make_instances(fault, 3):
+                graph.add_fault_instance(instance)
+        return graph
+
+    graph = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert graph.vertex_count() == 8
+    table = TextTable(["metric", "value"])
+    table.add_row(["vertices (2^n)", graph.vertex_count()])
+    table.add_row(["fault-free edges", graph.base.edge_count()])
+    table.add_row(["faulty edges", len(graph.faulty_edges)])
+    emit(results_dir, "fig4_full_pg", table.render())

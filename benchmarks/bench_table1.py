@@ -1,0 +1,127 @@
+"""Table 1 reproduction: generate march tests for both fault lists.
+
+The paper's Table 1 reports three generated tests:
+
+=============  ==========  ========  =====  ====================================
+March Test     Fault List  CPU (s)   O(n)   improvement vs 43n / 41n SL / 11n LF1
+=============  ==========  ========  =====  ====================================
+March ABL      #1          1.03      37n    13.9 % / 9.7 % / --
+March RABL     #1          1.35      35n    18.6 % / 14.6 % / --
+March ABL1     #2          0.98      9n     -- / -- / 18.1 %
+=============  ==========  ========  =====  ====================================
+
+Each benchmark below regenerates one row: it times the full generation
+pipeline, verifies 100 % simulated coverage and prints the paper-style
+row next to the paper's value.  Absolute lengths may differ (our
+generator plus pruner typically lands *below* the paper's lengths);
+the comparison claims that must hold are asserted:
+
+* 100 % coverage of the target fault list;
+* generated length strictly below every baseline targeting that list.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.compare import improvement
+from repro.analysis.table import TextTable
+from repro.core.generator import MarchGenerator
+from repro.march.known import MARCH_43N, MARCH_LF1, MARCH_SL
+from repro.sim.coverage import CoverageOracle
+
+PAPER_ROWS = {
+    "ABL": {"list": "#1", "cpu": 1.03, "complexity": 37},
+    "RABL": {"list": "#1", "cpu": 1.35, "complexity": 35},
+    "ABL1": {"list": "#2", "cpu": 0.98, "complexity": 9},
+}
+
+
+def _report(results_dir, label, result, paper):
+    table = TextTable([
+        "row", "fault list", "CPU (s)", "O(n)", "coverage %",
+        "vs 43n", "vs 41n SL", "vs 11n LF1"])
+    ours = result.test.complexity
+    table.add_row([
+        f"{label} (paper)", paper["list"], f"{paper['cpu']:.2f}",
+        f"{paper['complexity']}n", "100.0",
+        f"{improvement(paper['complexity'], 43):.1f}%"
+        if paper["list"] == "#1" else "-",
+        f"{improvement(paper['complexity'], 41):.1f}%"
+        if paper["list"] == "#1" else "-",
+        f"{improvement(paper['complexity'], 11):.1f}%"
+        if paper["list"] == "#2" else "-",
+    ])
+    table.add_row([
+        f"{label} (ours)", paper["list"], f"{result.seconds:.2f}",
+        f"{ours}n", f"{100.0 * result.report.coverage:.1f}",
+        f"{improvement(ours, 43):.1f}%" if paper["list"] == "#1" else "-",
+        f"{improvement(ours, 41):.1f}%" if paper["list"] == "#1" else "-",
+        f"{improvement(ours, 11):.1f}%" if paper["list"] == "#2" else "-",
+    ])
+    emit(results_dir, f"table1_{label.lower()}",
+         table.render() + "\n\ngenerated: " + result.test.describe())
+
+
+def test_table1_row_abl(benchmark, fl1, results_dir):
+    """Row 1: full generator against Fault List #1 (March ABL analogue)."""
+    result = benchmark.pedantic(
+        lambda: MarchGenerator(fl1, name="Gen ABL (repro)").generate(),
+        rounds=1, iterations=1)
+    assert result.complete
+    assert result.test.complexity < MARCH_SL.complexity
+    assert result.test.complexity < MARCH_43N.complexity
+    _report(results_dir, "ABL", result, PAPER_ROWS["ABL"])
+
+
+def test_table1_row_rabl(benchmark, fl1, results_dir):
+    """Row 2: the grammar-only variant (March RABL analogue).
+
+    The paper's RABL comes from the same algorithm with a different
+    exploration; we regenerate with the pattern-graph walker disabled,
+    which exercises an independent proposal path.
+    """
+    result = benchmark.pedantic(
+        lambda: MarchGenerator(
+            fl1, name="Gen RABL (repro)", use_walker=False).generate(),
+        rounds=1, iterations=1)
+    assert result.complete
+    assert result.test.complexity < MARCH_SL.complexity
+    _report(results_dir, "RABL", result, PAPER_ROWS["RABL"])
+
+
+def test_table1_row_abl1(benchmark, fl2, results_dir):
+    """Row 3: Fault List #2 (March ABL1 analogue, paper: 9n)."""
+    result = benchmark.pedantic(
+        lambda: MarchGenerator(fl2, name="Gen ABL1 (repro)").generate(),
+        rounds=1, iterations=1)
+    assert result.complete
+    assert result.test.complexity < MARCH_LF1.complexity
+    # The paper's headline: a 9n test for the single-cell linked list.
+    assert result.test.complexity == 9
+    _report(results_dir, "ABL1", result, PAPER_ROWS["ABL1"])
+
+
+def test_table1_baseline_coverages(benchmark, fl1, fl2, results_dir):
+    """Sanity row: the baselines' own coverage on the two lists."""
+    oracle1 = CoverageOracle(fl1)
+    oracle2 = CoverageOracle(fl2)
+
+    def evaluate_baselines():
+        return (
+            oracle1.evaluate(MARCH_SL.test),
+            oracle1.evaluate(MARCH_43N.test),
+            oracle2.evaluate(MARCH_LF1.test),
+        )
+
+    sl, forty3, lf1_report = benchmark.pedantic(
+        evaluate_baselines, rounds=1, iterations=1)
+    assert sl.complete and forty3.complete and lf1_report.complete
+    table = TextTable(["baseline", "O(n)", "list", "coverage %"])
+    table.add_row(["March SL", "41n", "#1", f"{100 * sl.coverage:.1f}"])
+    table.add_row(["43n March Test", "43n", "#1",
+                   f"{100 * forty3.coverage:.1f}"])
+    table.add_row(["March LF1", "11n", "#2",
+                   f"{100 * lf1_report.coverage:.1f}"])
+    emit(results_dir, "table1_baselines", table.render())

@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark harness.
+
+Fault lists and oracles are session-scoped: building them is cheap but
+the benchmarks should time the operations under study, not list
+construction.  Every benchmark writes its report table to
+``benchmarks/results/`` so the regenerated paper artifacts persist as
+plain-text files.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.faults.lists import (
+    fault_list_1,
+    fault_list_2,
+    simple_static_faults,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def fl1():
+    return fault_list_1()
+
+
+@pytest.fixture(scope="session")
+def fl2():
+    return fault_list_2()
+
+
+@pytest.fixture(scope="session")
+def simple_faults():
+    return simple_static_faults()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a report table and persist it under benchmarks/results/."""
+    print(f"\n===== {name} =====")
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

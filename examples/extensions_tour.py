@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Tour of the extensions beyond the paper's core contribution.
+
+The paper's Section 7 lists two ongoing-work directions, both built
+here, plus two more that round out an industrial flow:
+
+1. **Address-order constraints** -- "March Tests with particular
+   address orders (i.e., all increasing or all decreasing) can be
+   implemented more efficiently": generate an all-ascending test.
+2. **Multi-port memories** -- dual-port SRAM substrate with weak
+   inter-port faults that no single-port march can sensitize.
+3. **Dynamic faults** -- two-operation sensitizations (the authors'
+   companion ETS 2005 generator targets these).
+4. **Test-program codegen** -- emit deployable C from any march test.
+
+Usage::
+
+    python examples/extensions_tour.py
+"""
+
+from repro import MarchGenerator
+from repro.analysis.codegen import application_time, to_c_function
+from repro.faults.dynamic import dynamic_single_cell_faults
+from repro.faults.lists import fault_list_2
+from repro.march.element import AddressOrder
+from repro.memory.multiport import (
+    dual_port_coverage,
+    march_d2pf,
+    weak_faults,
+)
+
+
+def order_constrained_generation() -> None:
+    print("=" * 64)
+    print("1. Address-order constrained generation (Section 7)")
+    print("=" * 64)
+    for order, label in ((AddressOrder.UP, "all ascending"),
+                         (AddressOrder.DOWN, "all descending")):
+        result = MarchGenerator(
+            fault_list_2(), name=f"March {label}",
+            allowed_orders=(order,)).generate()
+        print(f"  {label}: {result.test.describe()}")
+        assert result.complete
+    print()
+
+
+def dual_port_weak_faults() -> None:
+    print("=" * 64)
+    print("2. Dual-port memories and weak inter-port faults")
+    print("=" * 64)
+    faults = weak_faults()
+    print(f"  weak fault space: {len(faults)} primitives, e.g.:")
+    for fp in faults[:3]:
+        print(f"    {fp}")
+    test = march_d2pf()
+    detected, escaped = dual_port_coverage(test, faults)
+    print(f"  {test.describe()}")
+    print(f"  coverage: {len(detected)}/{len(faults)} "
+          f"(escaped: {[f.name for f in escaped]})")
+    assert not escaped
+    print()
+
+
+def dynamic_fault_generation() -> None:
+    print("=" * 64)
+    print("3. Two-operation dynamic faults (companion work, ETS 2005)")
+    print("=" * 64)
+    faults = dynamic_single_cell_faults()
+    print(f"  target: {len(faults)} single-cell dynamic FPs, e.g. "
+          f"{faults[0]}")
+    result = MarchGenerator(faults, name="March dyn").generate()
+    print(f"  {result.test.describe()}")
+    print(f"  coverage: {result.report.summary()}")
+    assert result.complete
+    print()
+
+
+def code_generation() -> None:
+    print("=" * 64)
+    print("4. Deployable test programs")
+    print("=" * 64)
+    result = MarchGenerator(fault_list_2(), name="My March").generate()
+    code = to_c_function(result.test)
+    print("\n".join(code.splitlines()[:14]))
+    print("    ... (full function omitted)")
+    megabit = 1 << 20
+    seconds = application_time(result.test, megabit, cycle_ns=10.0)
+    print(f"\n  test time on a 1 Mib SRAM at 10 ns/access: "
+          f"{seconds * 1e3:.2f} ms")
+
+
+def main() -> None:
+    order_constrained_generation()
+    dual_port_weak_faults()
+    dynamic_fault_generation()
+    code_generation()
+
+
+if __name__ == "__main__":
+    main()

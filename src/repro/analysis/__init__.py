@@ -1,0 +1,34 @@
+"""Reporting and comparison utilities.
+
+* :mod:`repro.analysis.table` -- plain-text table rendering;
+* :mod:`repro.analysis.compare` -- Table 1 reconstruction: improvement
+  percentages against the paper's baselines, coverage matrices;
+* :mod:`repro.analysis.dot` -- Graphviz exports for the paper's
+  figures (G0, the pattern graph, linked test patterns).
+"""
+
+from repro.analysis.table import TextTable
+from repro.analysis.compare import (
+    Table1Row,
+    improvement,
+    build_table1,
+    render_table1,
+    coverage_matrix,
+)
+from repro.analysis.dot import (
+    g0_dot,
+    pattern_graph_dot,
+    pgcf_example_graph,
+)
+
+__all__ = [
+    "TextTable",
+    "Table1Row",
+    "improvement",
+    "build_table1",
+    "render_table1",
+    "coverage_matrix",
+    "g0_dot",
+    "pattern_graph_dot",
+    "pgcf_example_graph",
+]

@@ -1,0 +1,54 @@
+"""Graphviz exports reproducing the paper's figures.
+
+* :func:`g0_dot` -- Figure 2: the fault-free 2-cell memory model;
+* :func:`pgcf_example_graph` -- Figure 4: the pattern graph of the
+  disturb-linked-to-disturb fault of equations (12)-(14), with its two
+  bold faulty edges;
+* :func:`pattern_graph_dot` -- general pattern-graph rendering.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.pattern_graph import PatternGraph
+from repro.faults.library import fp_by_name
+from repro.faults.linked import LinkedFault, Topology
+from repro.memory.graph import build_memory_graph
+from repro.memory.injection import FaultInstance
+
+
+def g0_dot(cells: int = 2) -> str:
+    """DOT source of the fault-free memory graph (Figure 2 for n=2)."""
+    return build_memory_graph(cells).to_dot(name="G0")
+
+
+def pattern_graph_dot(graph: PatternGraph, name: str = "PG") -> str:
+    """DOT source of an arbitrary pattern graph."""
+    return graph.to_dot(name=name)
+
+
+def figure4_linked_fault() -> LinkedFault:
+    """The linked fault of the paper's equation (12).
+
+    ``<0w1; 0/1/-> -> <1w0; 1/0/->``: a disturb coupling fault linked
+    to a disturb coupling fault on the same aggressor/victim pair.
+    """
+    return LinkedFault(
+        fp_by_name("CFds_0w1_v0"),
+        fp_by_name("CFds_1w0_v1"),
+        Topology.LF2AA,
+    )
+
+
+def pgcf_example_graph() -> Tuple[PatternGraph, FaultInstance]:
+    """Build ``PG_CF`` exactly as in Figure 4.
+
+    A 2-cell pattern graph (aggressor = cell 0 = the paper's *i*,
+    victim = cell 1 = *j*) whose faulty edges realize the test patterns
+    of equation (14): ``(00, w[0]1, r[1]0)`` and ``(11, w[0]0, r[1]1)``.
+    """
+    graph = PatternGraph(2)
+    instance = FaultInstance.from_linked(figure4_linked_fault(), (0, 1))
+    graph.add_fault_instance(instance)
+    return graph, instance

@@ -1,0 +1,59 @@
+"""Minimal plain-text table rendering for reports and benchmarks.
+
+The benchmark harness prints the same rows the paper's Table 1 reports;
+this helper keeps the formatting in one place, dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+class TextTable:
+    """A left-aligned monospace table.
+
+    Args:
+        headers: column titles.
+
+    Example::
+
+        table = TextTable(["March Test", "O(n)"])
+        table.add_row(["March ABL", "37n"])
+        print(table.render())
+    """
+
+    def __init__(self, headers: Sequence[str]):
+        if not headers:
+            raise ValueError("a table needs at least one column")
+        self.headers = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, cells: Sequence[object]) -> None:
+        """Append a row; cells are stringified."""
+        row = [str(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has "
+                f"{len(self.headers)} columns")
+        self.rows.append(row)
+
+    def render(self, padding: int = 2) -> str:
+        """Render the table with column-width alignment."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        gap = " " * padding
+
+        def fmt(row: Sequence[str]) -> str:
+            return gap.join(
+                cell.ljust(width) for cell, width in zip(row, widths)
+            ).rstrip()
+
+        separator = gap.join("-" * width for width in widths)
+        lines = [fmt(self.headers), separator]
+        lines.extend(fmt(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,272 @@
+"""Command-line interface.
+
+Installed as ``repro-march``::
+
+    repro-march lists                 # fault list inventory
+    repro-march known                 # published march tests
+    repro-march coverage "March SL"   # coverage of a known test
+    repro-march simulate "c(w0) U(r0,w1) D(r1,w0)" --fault-list 2
+    repro-march generate --fault-list 1
+    repro-march table1                # reproduce the paper's Table 1
+    repro-march figure --which g0     # DOT source of Figure 2 / 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.compare import (
+    build_table1,
+    coverage_matrix,
+    render_table1,
+)
+from repro.analysis.dot import g0_dot, pgcf_example_graph
+from repro.core.generator import MarchGenerator
+from repro.faults.dynamic import (
+    dynamic_faults,
+    dynamic_single_cell_faults,
+    dynamic_two_cell_faults,
+)
+from repro.faults.lists import (
+    fault_list_1,
+    fault_list_2,
+    lf1_faults,
+    lf2aa_faults,
+    lf2av_faults,
+    lf2va_faults,
+    lf3_faults,
+    simple_static_faults,
+)
+from repro.march.known import ALL_KNOWN, known_march
+from repro.march.test import parse_march
+from repro.sim.coverage import CoverageOracle
+
+
+def _fault_list(label: str):
+    lists = {
+        "1": fault_list_1,
+        "2": fault_list_2,
+        "lf1": lf1_faults,
+        "lf2aa": lf2aa_faults,
+        "lf2av": lf2av_faults,
+        "lf2va": lf2va_faults,
+        "lf3": lf3_faults,
+        "simple": simple_static_faults,
+        "dynamic": dynamic_faults,
+        "dynamic1": dynamic_single_cell_faults,
+        "dynamic2": dynamic_two_cell_faults,
+    }
+    try:
+        return lists[label]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown fault list {label!r}; choose from {sorted(lists)}")
+
+
+def _cmd_lists(args: argparse.Namespace) -> int:
+    rows = (
+        ("1", "single/two/three-cell static linked faults", fault_list_1),
+        ("2", "single-cell static linked faults", fault_list_2),
+        ("lf1", "single-cell LFs", lf1_faults),
+        ("lf2aa", "two-cell LFs, shared aggressor+victim", lf2aa_faults),
+        ("lf2av", "two-cell FP1, single-cell masker", lf2av_faults),
+        ("lf2va", "single-cell FP1, two-cell masker", lf2va_faults),
+        ("lf3", "three-cell LFs (distinct aggressors)", lf3_faults),
+        ("simple", "unlinked static FPs", simple_static_faults),
+        ("dynamic", "two-operation dynamic FPs", dynamic_faults),
+        ("dynamic1", "single-cell dynamic FPs", dynamic_single_cell_faults),
+        ("dynamic2", "two-cell dynamic FPs", dynamic_two_cell_faults),
+    )
+    for label, description, factory in rows:
+        print(f"{label:8s} {len(factory()):5d} faults  {description}")
+    return 0
+
+
+def _cmd_known(args: argparse.Namespace) -> int:
+    for name in sorted(ALL_KNOWN):
+        km = ALL_KNOWN[name]
+        flag = " (reconstruction)" if km.reconstructed else ""
+        print(f"{km.complexity:3d}n  {name}{flag}")
+        print(f"      {km.test.notation()}")
+        print(f"      source: {km.source}")
+    return 0
+
+
+def _cmd_coverage(args: argparse.Namespace) -> int:
+    km = known_march(args.test)
+    faults = _fault_list(args.fault_list)
+    oracle = CoverageOracle(faults, lf3_layout=args.lf3_layout)
+    report = oracle.evaluate(km.test)
+    print(report.summary())
+    if not report.complete and args.verbose:
+        for fault in report.escaped_faults:
+            print("  escape:", fault.name)
+    return 0 if report.complete else 1
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    test = parse_march(args.notation, name="cli march")
+    test.check_consistency()
+    faults = _fault_list(args.fault_list)
+    oracle = CoverageOracle(faults, lf3_layout=args.lf3_layout)
+    report = oracle.evaluate(test)
+    print(test.describe())
+    print(report.summary())
+    if not report.complete and args.verbose:
+        for fault in report.escaped_faults:
+            print("  escape:", fault.name)
+    return 0 if report.complete else 1
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.march.element import parse_address_order
+
+    faults = _fault_list(args.fault_list)
+    allowed_orders = None
+    if args.orders:
+        allowed_orders = tuple(
+            parse_address_order(marker) for marker in args.orders)
+    generator = MarchGenerator(
+        faults,
+        name=args.name,
+        lf3_layout=args.lf3_layout,
+        use_walker=not args.no_walker,
+        use_shapes=not args.no_shapes,
+        prune=not args.no_prune,
+        allowed_orders=allowed_orders,
+    )
+    result = generator.generate()
+    print(result.describe())
+    if args.verbose:
+        print("unpruned:", result.unpruned.describe())
+        for step in result.trace:
+            print("  ", step)
+    return 0 if result.complete else 1
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    rows = build_table1(fault_list_1(), fault_list_2())
+    print(render_table1(rows))
+    return 0
+
+
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    tests = [km.test for km in ALL_KNOWN.values()]
+    lists = {"FL#1": fault_list_1(), "FL#2": fault_list_2()}
+    print(coverage_matrix(tests, lists, lf3_layout=args.lf3_layout).render())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import build_report
+
+    text = build_report(include_generation=args.generate)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    if args.which == "g0":
+        print(g0_dot(cells=args.cells))
+    elif args.which == "pgcf":
+        graph, _ = pgcf_example_graph()
+        print(graph.to_dot(name="PGCF"))
+    else:
+        raise SystemExit(f"unknown figure {args.which!r}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro-march`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-march",
+        description=(
+            "Automatic march test generation for static linked SRAM "
+            "faults (Benso et al., DATE 2006 reproduction)"),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("lists", help="fault list inventory") \
+        .set_defaults(func=_cmd_lists)
+    sub.add_parser("known", help="published march tests") \
+        .set_defaults(func=_cmd_known)
+
+    coverage = sub.add_parser(
+        "coverage", help="coverage of a known march test")
+    coverage.add_argument("test", help='e.g. "March SL"')
+    coverage.add_argument("--fault-list", default="1")
+    coverage.add_argument("--lf3-layout", default="straddle",
+                          choices=("straddle", "all"))
+    coverage.add_argument("--verbose", action="store_true")
+    coverage.set_defaults(func=_cmd_coverage)
+
+    simulate = sub.add_parser(
+        "simulate", help="fault-simulate a march test given in notation")
+    simulate.add_argument(
+        "notation", help='e.g. "c(w0) U(r0,w1) D(r1,w0)"')
+    simulate.add_argument("--fault-list", default="1")
+    simulate.add_argument("--lf3-layout", default="straddle",
+                          choices=("straddle", "all"))
+    simulate.add_argument("--verbose", action="store_true")
+    simulate.set_defaults(func=_cmd_simulate)
+
+    generate = sub.add_parser(
+        "generate", help="generate a march test for a fault list")
+    generate.add_argument("--fault-list", default="1")
+    generate.add_argument("--name", default="generated march")
+    generate.add_argument("--lf3-layout", default="straddle",
+                          choices=("straddle", "all"))
+    generate.add_argument("--no-walker", action="store_true",
+                          help="disable pattern-graph walk proposals")
+    generate.add_argument("--no-shapes", action="store_true",
+                          help="disable the canonical shape grammar")
+    generate.add_argument("--no-prune", action="store_true",
+                          help="skip redundancy pruning")
+    generate.add_argument(
+        "--orders", nargs="+", metavar="ORDER",
+        help="restrict address orders (u/d/c), e.g. --orders u for an "
+             "all-ascending test (the paper's Section 7 constraint)")
+    generate.add_argument("--verbose", action="store_true")
+    generate.set_defaults(func=_cmd_generate)
+
+    sub.add_parser("table1", help="reproduce the paper's Table 1") \
+        .set_defaults(func=_cmd_table1)
+
+    matrix = sub.add_parser(
+        "matrix", help="coverage matrix of all known tests")
+    matrix.add_argument("--lf3-layout", default="straddle",
+                        choices=("straddle", "all"))
+    matrix.set_defaults(func=_cmd_matrix)
+
+    report = sub.add_parser(
+        "report", help="emit a Markdown reproduction report")
+    report.add_argument("--output", help="write to a file instead of stdout")
+    report.add_argument(
+        "--generate", action="store_true",
+        help="also regenerate the Table 1 rows live (slow)")
+    report.set_defaults(func=_cmd_report)
+
+    figure = sub.add_parser("figure", help="DOT source of a figure")
+    figure.add_argument("--which", default="g0", choices=("g0", "pgcf"))
+    figure.add_argument("--cells", type=int, default=2)
+    figure.set_defaults(func=_cmd_figure)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""The paper's primary contribution: automatic march-test generation.
+
+* :mod:`repro.core.afp` -- Addressed Fault Primitives (Definition 4)
+  and Test Patterns (Definition 5);
+* :mod:`repro.core.pattern_graph` -- the pattern graph ``PG`` of
+  Section 4 (fault-free graph ``G0`` plus faulty edges);
+* :mod:`repro.core.walker` -- sequence-of-operations construction by
+  walking the pattern graph (Definitions 9-13);
+* :mod:`repro.core.generator` -- the generation algorithm of Figure 5;
+* :mod:`repro.core.pruner` -- simulation-guarded redundancy removal
+  (the paper's non-redundancy claim; March RABL is the reduced ABL).
+"""
+
+from repro.core.afp import (
+    AddressedFaultPrimitive,
+    TestPattern,
+    afps_for_bound_primitive,
+    linked_afp_chains,
+)
+from repro.core.pattern_graph import FaultyEdge, PatternGraph
+from repro.core.generator import GenerationResult, MarchGenerator
+from repro.core.pruner import prune_march
+
+__all__ = [
+    "AddressedFaultPrimitive",
+    "TestPattern",
+    "afps_for_bound_primitive",
+    "linked_afp_chains",
+    "FaultyEdge",
+    "PatternGraph",
+    "GenerationResult",
+    "MarchGenerator",
+    "prune_march",
+]

@@ -1,0 +1,203 @@
+"""Addressed Fault Primitives and Test Patterns (Definitions 4-5).
+
+An **AFP** instantiates a fault primitive on concrete addresses and
+makes the full memory state explicit::
+
+    AFP = (I, Es, Fv, Gv)
+
+* ``I``  -- state of every involved cell before the sensitization;
+* ``Es`` -- the addressed sensitizing operation sequence;
+* ``Fv`` -- the memory state after ``Es`` on the *faulty* memory;
+* ``Gv`` -- the memory state after ``Es`` on the fault-free memory.
+
+A **Test Pattern** ``TP = (I, E, O)`` covers an AFP by appending the
+observing read ``O``: "read the victim and verify it equals its
+fault-free value".
+
+The paper's worked example (Section 2): ``<0w1; 0/1/->`` on a 2-cell
+memory yields ``AFP1 = (00, w[0]1, 11, 10)`` and
+``AFP2 = (00, w[1]1, 11, 01)``, with test patterns
+``TP1 = (00, w[0]1, r[1]0)`` and ``TP2 = (00, w[1]1, r[0]0)``.
+These exact values are pinned by the unit tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.faults.operations import Operation, read
+from repro.faults.primitives import FaultPrimitive
+from repro.faults.values import Bit, word_str
+from repro.memory.injection import BoundPrimitive, FaultInstance
+from repro.memory.model import MemoryState
+
+
+@dataclass(frozen=True)
+class AddressedFaultPrimitive:
+    """An AFP: a fault primitive with explicit addresses and states."""
+
+    initial: MemoryState
+    operations: Tuple[Operation, ...]
+    faulty: MemoryState
+    expected: MemoryState
+    victim: int
+    source: Optional[FaultPrimitive] = None
+
+    def __post_init__(self) -> None:
+        widths = {len(self.initial), len(self.faulty), len(self.expected)}
+        if len(widths) != 1:
+            raise ValueError("I, Fv and Gv must cover the same cells")
+        if not 0 <= self.victim < len(self.initial):
+            raise ValueError("victim address outside the modelled memory")
+        for op in self.operations:
+            if not op.is_wait and op.cell is None:
+                raise ValueError("AFP operations must be addressed")
+
+    @property
+    def cells(self) -> int:
+        """Number of modelled cells (``#IC`` in the paper)."""
+        return len(self.initial)
+
+    def victim_faulty_value(self) -> Bit:
+        """``V(Fv)``: the victim's value in the faulty final state."""
+        return self.faulty[self.victim]
+
+    def victim_expected_value(self) -> Bit:
+        """``V(Gv)``: the victim's fault-free final value."""
+        return self.expected[self.victim]
+
+    def notation(self) -> str:
+        """The paper's tuple notation, e.g. ``(00, w[0]1, 11, 10)``."""
+        ops = ",".join(str(op) for op in self.operations)
+        return (
+            f"({word_str(self.initial)}, {ops}, "
+            f"{word_str(self.faulty)}, {word_str(self.expected)})")
+
+    def to_test_pattern(self) -> "TestPattern":
+        """Definition 5: append the observing read of the victim."""
+        observe = read(self.victim_expected_value(), self.victim)
+        return TestPattern(
+            initial=self.initial,
+            operations=self.operations,
+            observe=observe,
+            afp=self,
+        )
+
+    def __str__(self) -> str:
+        return self.notation()
+
+
+@dataclass(frozen=True)
+class TestPattern:
+    """A test pattern ``TP = (I, E, O)`` (Definition 5)."""
+
+    initial: MemoryState
+    operations: Tuple[Operation, ...]
+    observe: Operation
+    afp: Optional[AddressedFaultPrimitive] = None
+
+    def __post_init__(self) -> None:
+        if not self.observe.is_read or self.observe.cell is None \
+                or self.observe.value is None:
+            raise ValueError(
+                "the observing operation must be an addressed, "
+                "expecting read")
+
+    @property
+    def all_operations(self) -> Tuple[Operation, ...]:
+        """Sensitizing operations followed by the observing read."""
+        return self.operations + (self.observe,)
+
+    def notation(self) -> str:
+        ops = ",".join(str(op) for op in self.operations)
+        return f"({word_str(self.initial)}, {ops}, {self.observe})"
+
+    def __str__(self) -> str:
+        return self.notation()
+
+
+def _free_cell_assignments(
+    cells: int, fixed: dict
+) -> List[List[Bit]]:
+    """Enumerate fully specified initial states honouring *fixed*."""
+    free = [c for c in range(cells) if c not in fixed]
+    assignments = []
+    for bits in itertools.product((0, 1), repeat=len(free)):
+        state = [0] * cells
+        for cell, value in fixed.items():
+            state[cell] = value
+        for cell, value in zip(free, bits):
+            state[cell] = value
+        assignments.append(state)
+    return assignments
+
+
+def afps_for_bound_primitive(
+    bound: BoundPrimitive, cells: int
+) -> List[AddressedFaultPrimitive]:
+    """Enumerate every AFP of a bound primitive on a *cells*-cell model.
+
+    Cells not involved in the primitive range over both values (each
+    combination yields a distinct AFP, matching the paper's example
+    where one FP expands into several AFPs).
+
+    State faults (no sensitizing operation) have no AFP expansion --
+    they contribute no faulty edge to the pattern graph -- so an empty
+    list is returned for them.
+    """
+    fp = bound.fp
+    if fp.op is None:
+        return []
+    if bound.victim >= cells or (
+            bound.aggressor is not None and bound.aggressor >= cells):
+        raise ValueError("bound primitive outside the modelled memory")
+    fixed = {}
+    if fp.victim_state in (0, 1):
+        fixed[bound.victim] = fp.victim_state
+    if bound.aggressor is not None and fp.aggressor_state in (0, 1):
+        fixed[bound.aggressor] = fp.aggressor_state
+    target = bound.operation_cell()
+    afps = []
+    for initial in _free_cell_assignments(cells, fixed):
+        ops = tuple(
+            op.at(target) if not op.is_wait else op
+            for op in fp.sensitizing_operations)
+        expected = list(initial)
+        for op in ops:
+            if op.is_write:
+                expected[target] = op.value
+        faulty = list(expected)
+        faulty[bound.victim] = fp.effect
+        afps.append(AddressedFaultPrimitive(
+            initial=tuple(initial),
+            operations=ops,
+            faulty=tuple(faulty),
+            expected=tuple(expected),
+            victim=bound.victim,
+            source=fp,
+        ))
+    return afps
+
+
+def linked_afp_chains(
+    instance: FaultInstance, cells: int
+) -> List[Tuple[AddressedFaultPrimitive, AddressedFaultPrimitive]]:
+    """Directly chained AFP pairs of a linked fault (Definition 7).
+
+    Returns every ``(AFP1, AFP2)`` with ``I2 = Fv1``: the masking
+    component picks up exactly where the masked one left the memory.
+    Pairs requiring intervening operations (e.g. an aggressor state
+    change between the two sensitizations) are not direct chains and do
+    not appear here; the simulator still exercises them.
+    """
+    if len(instance.primitives) != 2:
+        raise ValueError("linked AFP chains need a two-component fault")
+    first, second = instance.primitives
+    chains = []
+    for afp1 in afps_for_bound_primitive(first, cells):
+        for afp2 in afps_for_bound_primitive(second, cells):
+            if afp2.initial == afp1.faulty:
+                chains.append((afp1, afp2))
+    return chains

@@ -1,0 +1,165 @@
+"""The pattern graph ``PG = {Vp, Ep U Fp}`` (Section 4, eq. 11).
+
+The pattern graph is the fault-free memory graph ``G0`` augmented with
+one *faulty edge* per test pattern: the edge leaves the TP's initial
+state, is labelled with the sensitizing operations plus the observing
+read (``Es/Os`` in Figure 3), and enters the TP's **faulty** final
+state, exactly as the bold edges of Figure 4 run ``00 -> 11`` (label
+``w1_i, r0_j``) and ``11 -> 00`` (label ``w0_i, r1_j``) for the linked
+disturb-coupling example of equations (12)-(14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.afp import (
+    AddressedFaultPrimitive,
+    TestPattern,
+    afps_for_bound_primitive,
+)
+from repro.faults.values import word_str
+from repro.memory.graph import MemoryGraph
+from repro.memory.injection import FaultInstance
+from repro.memory.model import MemoryState
+
+
+@dataclass(frozen=True)
+class FaultyEdge:
+    """A faulty edge ``f in Fp``: one test pattern drawn on the PG."""
+
+    src: MemoryState
+    dst: MemoryState
+    pattern: TestPattern
+    fault: str
+    component: int  # 1 = masked FP, 2 = masking FP; 0 = simple fault
+
+    @property
+    def label(self) -> str:
+        """Edge label: sensitizing ops then the observing read."""
+        return ",".join(str(op) for op in self.pattern.all_operations)
+
+    @property
+    def sensitizing_cell(self) -> Optional[int]:
+        """Cell addressed by the sensitizing operation (the edge's
+        *address specification* in the sense of Definition 12)."""
+        for op in self.pattern.operations:
+            if op.cell is not None:
+                return op.cell
+        return None
+
+    @property
+    def victim_cell(self) -> int:
+        """Cell observed by the pattern's verifying read."""
+        assert self.pattern.observe.cell is not None
+        return self.pattern.observe.cell
+
+    def masks(self, other: "FaultyEdge") -> bool:
+        """Definition 8: this edge masks *other* when it leaves the
+        state *other* enters and flips the same victim back."""
+        if self.victim_cell != other.victim_cell:
+            return False
+        if self.src != other.dst:
+            return False
+        victim = self.victim_cell
+        return self.dst[victim] != other.dst[victim]
+
+    def __str__(self) -> str:
+        return (
+            f"{word_str(self.src)} ==[{self.label}]==> "
+            f"{word_str(self.dst)}  ({self.fault}#{self.component})")
+
+
+class PatternGraph:
+    """``G0`` plus the faulty edges of a fault list.
+
+    Args:
+        cells: number of modelled cells.  ``|Vp| = 2^cells``; the paper
+            sizes it as ``2^max(#f-cells)`` over the fault list.
+    """
+
+    def __init__(self, cells: int):
+        self.cells = cells
+        self.base = MemoryGraph(cells)
+        self.faulty_edges: List[FaultyEdge] = []
+        self._by_src: Dict[MemoryState, List[FaultyEdge]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_pattern(
+        self, pattern: TestPattern, fault: str, component: int = 0
+    ) -> FaultyEdge:
+        """Add one test pattern as a faulty edge."""
+        if pattern.afp is None:
+            raise ValueError("pattern graphs need AFP-backed patterns")
+        edge = FaultyEdge(
+            src=pattern.initial,
+            dst=pattern.afp.faulty,
+            pattern=pattern,
+            fault=fault,
+            component=component,
+        )
+        self.faulty_edges.append(edge)
+        self._by_src.setdefault(edge.src, []).append(edge)
+        return edge
+
+    def add_fault_instance(self, instance: FaultInstance) -> List[FaultyEdge]:
+        """Add every test pattern of a (simple or linked) fault.
+
+        Linked faults contribute the patterns of both components: the
+        walk must cover at least one of them in isolation, and covering
+        each faulty edge once (the algorithm's goal) guarantees it.
+        """
+        edges = []
+        linked = len(instance.primitives) == 2
+        for position, bound in enumerate(instance.primitives, start=1):
+            component = position if linked else 0
+            for afp in afps_for_bound_primitive(bound, self.cells):
+                edges.append(self.add_pattern(
+                    afp.to_test_pattern(), instance.name, component))
+        return edges
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def faulty_out(self, state: MemoryState) -> List[FaultyEdge]:
+        """Faulty edges leaving *state*."""
+        return list(self._by_src.get(state, []))
+
+    def vertex_count(self) -> int:
+        """``|Vp| = 2^n``."""
+        return self.base.vertex_count()
+
+    def masking_pairs(self) -> List[Tuple[FaultyEdge, FaultyEdge]]:
+        """All ordered pairs ``(f_l, f_k)`` where ``f_l`` masks ``f_k``
+        per Definition 8 -- the pairs a valid SO must not chain."""
+        pairs = []
+        for masked in self.faulty_edges:
+            for masking in self._by_src.get(masked.dst, []):
+                if masking.masks(masked):
+                    pairs.append((masking, masked))
+        return pairs
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def to_dot(self, name: str = "PG") -> str:
+        """DOT rendering: fault-free edges grey, faulty edges bold."""
+        lines = [f"digraph {name} {{", "  rankdir=LR;"]
+        for state in self.base.vertices:
+            lines.append(f'  "{word_str(state)}" [shape=circle];')
+        grouped: Dict[Tuple[MemoryState, MemoryState], List[str]] = {}
+        for edge in self.base.edges:
+            grouped.setdefault((edge.src, edge.dst), []).append(edge.label)
+        for (src, dst), labels in grouped.items():
+            lines.append(
+                f'  "{word_str(src)}" -> "{word_str(dst)}" '
+                f'[color=grey, label="{" ; ".join(labels)}"];')
+        for fedge in self.faulty_edges:
+            lines.append(
+                f'  "{word_str(fedge.src)}" -> "{word_str(fedge.dst)}" '
+                f'[style=bold, color=black, label="{fedge.label}"];')
+        lines.append("}")
+        return "\n".join(lines)

@@ -1,0 +1,200 @@
+"""Simulation-guarded redundancy removal for march tests.
+
+The paper stresses that its methodology "allows generating
+non-redundant March Tests"; March RABL is the reduced variant of March
+ABL.  This module implements reduction as a fixpoint of three
+simulation-verified passes:
+
+1. **element drop** -- remove whole march elements;
+2. **operation drop** -- remove single operations inside elements;
+3. **element merge** -- concatenate adjacent elements sharing an
+   address order (no length change, but merging often unlocks further
+   operation drops and shortens the element count).
+
+A candidate reduction is accepted only if (a) the test stays fault-free
+consistent and (b) it still covers every fault the original test
+covered (not merely "stays complete": pruning is also used on tests
+that cover a strict subset of a list).
+
+An optional final pass *generalizes* address orders: elements whose
+direction does not matter are re-marked ``⇕`` (the ``c`` of Table 1),
+which widens implementation freedom at equal length -- the form the
+paper's March ABL1 takes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Set
+
+from repro.march.element import AddressOrder
+from repro.march.test import MarchTest
+from repro.sim.coverage import CoverageOracle
+
+
+@dataclass
+class PruneResult:
+    """Outcome of a pruning run."""
+
+    test: MarchTest
+    original_complexity: int
+    removed_operations: int
+    removed_elements: int
+    merged_elements: int
+    generalized_orders: int
+    seconds: float
+
+    @property
+    def complexity(self) -> int:
+        return self.test.complexity
+
+
+class _CoverageGuard:
+    """Accept a candidate test iff it keeps the protected coverage."""
+
+    def __init__(self, oracle: CoverageOracle, reference: MarchTest):
+        self.oracle = oracle
+        self.protected: Set[str] = {
+            fault.name for fault in oracle.evaluate(reference).detected}
+        self.evaluations = 0
+
+    def accepts(self, candidate: MarchTest) -> bool:
+        if not candidate.is_consistent():
+            return False
+        self.evaluations += 1
+        report = self.oracle.evaluate(candidate)
+        covered = {fault.name for fault in report.detected}
+        return self.protected <= covered
+
+
+def prune_march(
+    test: MarchTest,
+    oracle: CoverageOracle,
+    merge: bool = True,
+    generalize_orders: bool = True,
+    max_rounds: int = 4,
+) -> PruneResult:
+    """Reduce *test* while preserving everything it covers.
+
+    Args:
+        test: the march test to reduce (must be fault-free consistent).
+        oracle: coverage oracle over the target fault list.
+        merge: enable the adjacent-element merge pass.
+        generalize_orders: enable the final ``⇕`` generalization pass.
+        max_rounds: safety bound on drop/merge fixpoint rounds.
+    """
+    start = time.perf_counter()
+    test.check_consistency()
+    guard = _CoverageGuard(oracle, test)
+    current = test
+    removed_ops = 0
+    removed_elements = 0
+    merged = 0
+    for _ in range(max_rounds):
+        changed = False
+        current, dropped = _drop_elements(current, guard)
+        removed_elements += dropped
+        changed = changed or dropped > 0
+        current, dropped = _drop_operations(current, guard)
+        removed_ops += dropped
+        changed = changed or dropped > 0
+        if merge:
+            current, fused = _merge_adjacent(current, guard)
+            merged += fused
+            changed = changed or fused > 0
+        if not changed:
+            break
+    generalized = 0
+    if generalize_orders:
+        current, generalized = _generalize_orders(current, guard)
+    return PruneResult(
+        test=current,
+        original_complexity=test.complexity,
+        removed_operations=removed_ops,
+        removed_elements=removed_elements,
+        merged_elements=merged,
+        generalized_orders=generalized,
+        seconds=time.perf_counter() - start,
+    )
+
+
+def _drop_elements(
+    test: MarchTest, guard: _CoverageGuard
+) -> tuple:
+    dropped = 0
+    index = 0
+    while index < len(test.elements) and len(test.elements) > 1:
+        candidate = test.drop_element(index)
+        if guard.accepts(candidate):
+            test = candidate
+            dropped += 1
+        else:
+            index += 1
+    return test, dropped
+
+
+def _drop_operations(
+    test: MarchTest, guard: _CoverageGuard
+) -> tuple:
+    dropped = 0
+    element_index = 0
+    while element_index < len(test.elements):
+        op_index = 0
+        while op_index < len(test.elements[element_index].operations):
+            element = test.elements[element_index]
+            if len(element.operations) == 1:
+                if len(test.elements) > 1:
+                    candidate = test.drop_element(element_index)
+                    if guard.accepts(candidate):
+                        test = candidate
+                        dropped += 1
+                        op_index = 0
+                        continue
+                break
+            candidate = test.replace_element(
+                element_index, element.without_operation(op_index))
+            if guard.accepts(candidate):
+                test = candidate
+                dropped += 1
+            else:
+                op_index += 1
+        element_index += 1
+    return test, dropped
+
+
+def _merge_adjacent(
+    test: MarchTest, guard: _CoverageGuard
+) -> tuple:
+    merged = 0
+    index = 0
+    while index + 1 < len(test.elements):
+        left = test.elements[index]
+        right = test.elements[index + 1]
+        if left.order is right.order:
+            fused = left.concat(right)
+            elements = (
+                test.elements[:index] + (fused,)
+                + test.elements[index + 2:])
+            candidate = test.with_elements(elements)
+            if guard.accepts(candidate):
+                test = candidate
+                merged += 1
+                continue
+        index += 1
+    return test, merged
+
+
+def _generalize_orders(
+    test: MarchTest, guard: _CoverageGuard
+) -> tuple:
+    generalized = 0
+    for index, element in enumerate(test.elements):
+        if element.order is AddressOrder.ANY:
+            continue
+        candidate = test.replace_element(
+            index, element.with_order(AddressOrder.ANY))
+        if guard.accepts(candidate):
+            test = candidate
+            generalized += 1
+    return test, generalized

@@ -1,0 +1,199 @@
+"""Sequence-of-operations construction by pattern-graph walks.
+
+This implements the proposal side of the paper's algorithm (Section 5,
+Definitions 9-13): candidate march elements are built as *sequences of
+operations* (SOs) that traverse uncovered faulty edges of the pattern
+graph.
+
+A valid SO keeps its operations on a single model cell -- the *address
+specification* (Definition 12).  Walking from the current uniform
+inter-element state, the walker greedily chains faulty edges whose
+sensitizing operation targets the specification cell, inlining the
+observing read when the victim is the specification cell itself and
+prepending the conventional leading read otherwise (the element's visit
+to the victim then performs the observation, which is exactly how the
+march elements of Table 1 observe coupling victims).
+
+Definition 13's no-masking rule is honoured structurally: an edge is
+not appended when it masks an edge already in the SO (Definition 8).
+The generator double-checks every proposal against the operational
+fault simulator, so walker proposals only need to be *useful*, not
+provably covering.
+
+The address-order translation follows the paper: an SO specified on the
+lowest model cell becomes a ``⇑`` element, on the highest a ``⇓``
+element (Section 5); middle cells and single-cell-only SOs are emitted
+under both fixed orders and ``⇕`` so the oracle can pick what works.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.core.pattern_graph import FaultyEdge, PatternGraph
+from repro.faults.operations import Operation, read, write
+from repro.faults.values import Bit, flip
+from repro.march.element import AddressOrder, MarchElement
+from repro.memory.model import MemoryState
+
+
+def _apply_on_cell(
+    state: MemoryState, op: Operation, cell: int
+) -> MemoryState:
+    """Good-machine transition of *op* applied to *cell*."""
+    if op.is_write:
+        updated = list(state)
+        updated[cell] = op.value
+        return tuple(updated)
+    return state
+
+
+class PatternWalker:
+    """Greedy SO construction over a pattern graph.
+
+    Args:
+        graph: pattern graph holding the faulty edges still to cover.
+        max_length: cap on the operations of one SO (a march element of
+            the literature rarely exceeds ~11 operations).
+    """
+
+    def __init__(self, graph: PatternGraph, max_length: int = 12):
+        self.graph = graph
+        self.max_length = max_length
+
+    # ------------------------------------------------------------------
+    # Walks
+    # ------------------------------------------------------------------
+    def walk(
+        self, entry_value: Bit, spec_cell: int
+    ) -> Tuple[Operation, ...]:
+        """Build one SO on *spec_cell* starting from a uniform state.
+
+        Returns the unaddressed operation sequence (possibly empty when
+        no faulty edge is reachable on this specification).
+        """
+        state = tuple([entry_value] * self.graph.cells)
+        ops: List[Operation] = []
+        taken: List[FaultyEdge] = []
+        connectors_left = 2
+        while len(ops) < self.max_length:
+            edge = self._next_edge(state, spec_cell, taken)
+            if edge is None:
+                if connectors_left == 0:
+                    break
+                connector = self._connector(state, spec_cell, taken)
+                if connector is None:
+                    break
+                connectors_left -= 1
+                ops.append(connector.unaddressed())
+                state = _apply_on_cell(state, connector, spec_cell)
+                continue
+            appended = self._edge_operations(edge, spec_cell)
+            ops.extend(appended)
+            for op in appended:
+                state = _apply_on_cell(state, op, spec_cell)
+            taken.append(edge)
+        if not taken:
+            return ()
+        return self._with_leading_read(tuple(ops), entry_value, taken)
+
+    def proposals(self, entry_value: Bit) -> List[MarchElement]:
+        """March-element candidates from every address specification."""
+        elements: List[MarchElement] = []
+        seen: Set[Tuple[AddressOrder, Tuple[Operation, ...]]] = set()
+        highest = self.graph.cells - 1
+        for spec_cell in range(self.graph.cells):
+            ops = self.walk(entry_value, spec_cell)
+            if not ops:
+                continue
+            orders: Tuple[AddressOrder, ...]
+            if spec_cell == 0:
+                orders = (AddressOrder.UP, AddressOrder.ANY)
+            elif spec_cell == highest:
+                orders = (AddressOrder.DOWN, AddressOrder.ANY)
+            else:
+                orders = (AddressOrder.UP, AddressOrder.DOWN)
+            for order in orders:
+                key = (order, ops)
+                if key not in seen:
+                    seen.add(key)
+                    elements.append(MarchElement(order, ops))
+        return elements
+
+    # ------------------------------------------------------------------
+    # Edge selection
+    # ------------------------------------------------------------------
+    def _next_edge(
+        self,
+        state: MemoryState,
+        spec_cell: int,
+        taken: Sequence[FaultyEdge],
+    ) -> Optional[FaultyEdge]:
+        """Pick an uncovered faulty edge traversable from *state*.
+
+        Preference order: inline-observable edges (victim is the
+        specification cell) first, then aggressor-specified edges whose
+        victim is observed when the element visits it.
+        """
+        candidates = [
+            edge for edge in self.graph.faulty_out(state)
+            if edge.sensitizing_cell == spec_cell
+            and edge not in taken
+            and not self._would_mask(edge, taken)
+        ]
+        if not candidates:
+            return None
+        inline = [e for e in candidates if e.victim_cell == spec_cell]
+        return inline[0] if inline else candidates[0]
+
+    def _would_mask(
+        self, edge: FaultyEdge, taken: Sequence[FaultyEdge]
+    ) -> bool:
+        """Definition 13: reject edges masking an edge already in the SO."""
+        return any(edge.masks(prior) for prior in taken)
+
+    def _edge_operations(
+        self, edge: FaultyEdge, spec_cell: int
+    ) -> List[Operation]:
+        """Operations the SO gains by traversing *edge*."""
+        ops = [op.unaddressed() for op in edge.pattern.operations]
+        if edge.victim_cell == spec_cell:
+            ops.append(edge.pattern.observe.unaddressed())
+        return ops
+
+    def _connector(
+        self,
+        state: MemoryState,
+        spec_cell: int,
+        taken: Sequence[FaultyEdge],
+    ) -> Optional[Operation]:
+        """A good-machine write moving the walk toward a faulty edge.
+
+        Only the specification cell may move (Definition 11), so the
+        reachable set is {current state, flipped-spec state}; return the
+        flip when it exposes a new faulty edge.
+        """
+        flipped = write(flip(state[spec_cell]), spec_cell)
+        next_state = _apply_on_cell(state, flipped, spec_cell)
+        for edge in self.graph.faulty_out(next_state):
+            if edge.sensitizing_cell == spec_cell and edge not in taken \
+                    and not self._would_mask(edge, taken):
+                return flipped
+        return None
+
+    @staticmethod
+    def _with_leading_read(
+        ops: Tuple[Operation, ...],
+        entry_value: Bit,
+        taken: Sequence[FaultyEdge],
+    ) -> Tuple[Operation, ...]:
+        """Prepend the conventional entry read when off-cell victims
+        need observation at their own visit (the ``(r m, ...)`` prefix
+        of every published linked-fault march element)."""
+        needs_prefix = any(
+            edge.victim_cell != edge.sensitizing_cell for edge in taken)
+        has_prefix = bool(ops) and ops[0].is_read \
+            and ops[0].value == entry_value
+        if needs_prefix and not has_prefix:
+            return (read(entry_value),) + ops
+        return ops

@@ -1,0 +1,78 @@
+"""Fault modelling layer.
+
+This subpackage implements the fault-primitive (FP) formalism of
+Section 2 of the paper (after van de Goor & Al-Ars, "Functional Memory
+Faults: A Formal Notation and a Taxonomy", VTS 2000):
+
+* :mod:`repro.faults.values` -- cell states and the ternary value algebra;
+* :mod:`repro.faults.operations` -- memory operations (``w0``, ``w1``,
+  ``r0``, ``r1``, ``r``, ``t``) with optional cell addressing;
+* :mod:`repro.faults.primitives` -- the ``<S / F / R>`` fault primitive
+  record, its parser/printer and static-fault classification;
+* :mod:`repro.faults.library` -- the canonical libraries of single-cell
+  (12 FPs) and two-cell (36 FPs) static fault primitives and their
+  functional fault model (FFM) groupings;
+* :mod:`repro.faults.linked` -- the linked fault concept of Section 3
+  (Definitions 6 and 7) and the linkability/masking predicates;
+* :mod:`repro.faults.lists` -- the realistic linked fault lists used in
+  the paper's evaluation (Fault List #1 and Fault List #2).
+"""
+
+from repro.faults.values import Bit, CellState, DONT_CARE, flip
+from repro.faults.operations import (
+    Operation,
+    OpKind,
+    read,
+    write,
+    wait,
+)
+from repro.faults.primitives import (
+    FaultPrimitive,
+    FaultClass,
+    parse_fp,
+)
+from repro.faults.library import (
+    SINGLE_CELL_FPS,
+    TWO_CELL_FPS,
+    fp_by_name,
+    ffm_members,
+)
+from repro.faults.linked import LinkedFault, are_linked, is_self_detecting
+from repro.faults.lists import (
+    fault_list_1,
+    fault_list_2,
+    lf1_faults,
+    lf2aa_faults,
+    lf2av_faults,
+    lf2va_faults,
+    lf3_faults,
+)
+
+__all__ = [
+    "Bit",
+    "CellState",
+    "DONT_CARE",
+    "flip",
+    "Operation",
+    "OpKind",
+    "read",
+    "write",
+    "wait",
+    "FaultPrimitive",
+    "FaultClass",
+    "parse_fp",
+    "SINGLE_CELL_FPS",
+    "TWO_CELL_FPS",
+    "fp_by_name",
+    "ffm_members",
+    "LinkedFault",
+    "are_linked",
+    "is_self_detecting",
+    "fault_list_1",
+    "fault_list_2",
+    "lf1_faults",
+    "lf2aa_faults",
+    "lf2av_faults",
+    "lf2va_faults",
+    "lf3_faults",
+]

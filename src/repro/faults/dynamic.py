@@ -1,0 +1,145 @@
+"""Two-operation dynamic fault primitives (extension).
+
+Section 2 of the paper classifies FPs as *static* when one operation
+sensitizes them and *dynamic* otherwise; the authors' companion work
+(ref. [15], ETS 2005) generates march tests for both.  This module
+provides the realistic two-operation dynamic space used in the dynamic
+fault literature: faults sensitized by **back-to-back pairs on one
+cell** -- a write immediately followed by a read of the written value
+(``x w_y r_y``) or a double read (``x r_x r_x``).
+
+Families (mirroring the static read-fault families):
+
+* ``dRDF``  -- the pair flips the cell and the closing read returns the
+  flipped (wrong) value;
+* ``dDRDF`` -- the pair flips the cell but the read still returns the
+  expected value (deceptive);
+* ``dIRF``  -- the read returns the wrong value without disturbing the
+  cell;
+* two-cell versions: ``dCFds`` (the pair on the *aggressor* disturbs
+  the victim) and ``dCFrd`` / ``dCFdr`` / ``dCFir`` (the pair on the
+  victim under an aggressor state condition).
+
+Counts: 6 sensitizations per cell (4 write-read + 2 read-read), hence
+18 single-cell dynamic FPs, 12 ``dCFds`` and 36 victim-side two-cell
+dynamic FPs -- 66 in total.  All are registered in the global
+name-lookup of :mod:`repro.faults.library`.
+
+Naming scheme: ``dRDF_0w0``, ``dDRDF_1r1``, ``dCFds_0w1r1_v0``,
+``dCFrd_a1_0w0``, ...
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.faults.operations import Operation, read, write
+from repro.faults.primitives import (
+    AGGRESSOR,
+    FaultClass,
+    FaultPrimitive,
+    VICTIM,
+)
+from repro.faults.values import Bit, flip
+
+#: The six back-to-back sensitizations of one cell: ``(pre-state,
+#: first op, second op, tag)``.  The second operation is always a read;
+#: its fault-free value is the written value (w-r pairs) or the
+#: pre-state (r-r pairs).
+DYNAMIC_SENSITIZATIONS: Tuple[Tuple[Bit, Operation, Operation, str], ...] = (
+    (0, write(0), read(), "0w0r0"),
+    (0, write(1), read(), "0w1r1"),
+    (1, write(0), read(), "1w0r0"),
+    (1, write(1), read(), "1w1r1"),
+    (0, read(), read(), "0r0r0"),
+    (1, read(), read(), "1r1r1"),
+)
+
+
+def _fault_free_value(state: Bit, first: Operation) -> Bit:
+    return first.value if first.is_write else state
+
+
+def _build_single_cell_dynamic() -> List[FaultPrimitive]:
+    fps: List[FaultPrimitive] = []
+    for state, first, second, tag in DYNAMIC_SENSITIZATIONS:
+        good = _fault_free_value(state, first)
+        bad = flip(good)
+        fps.append(FaultPrimitive(
+            name=f"dRDF_{tag}", ffm=FaultClass.D_RDF, cells=1,
+            aggressor_state=None, victim_state=state,
+            op=second, op_role=VICTIM, effect=bad, read_out=bad,
+            op_pre=first))
+        fps.append(FaultPrimitive(
+            name=f"dDRDF_{tag}", ffm=FaultClass.D_DRDF, cells=1,
+            aggressor_state=None, victim_state=state,
+            op=second, op_role=VICTIM, effect=bad, read_out=good,
+            op_pre=first))
+        fps.append(FaultPrimitive(
+            name=f"dIRF_{tag}", ffm=FaultClass.D_IRF, cells=1,
+            aggressor_state=None, victim_state=state,
+            op=second, op_role=VICTIM, effect=good, read_out=bad,
+            op_pre=first))
+    return fps
+
+
+def _build_two_cell_dynamic() -> List[FaultPrimitive]:
+    fps: List[FaultPrimitive] = []
+    # dCFds: the pair on the aggressor disturbs the victim.
+    for state, first, second, tag in DYNAMIC_SENSITIZATIONS:
+        for v in (0, 1):
+            fps.append(FaultPrimitive(
+                name=f"dCFds_{tag}_v{v}", ffm=FaultClass.D_CFDS, cells=2,
+                aggressor_state=state, victim_state=v,
+                op=second, op_role=AGGRESSOR, effect=flip(v),
+                op_pre=first))
+    # dCFrd / dCFdr / dCFir: the pair on the victim under an aggressor
+    # state condition.
+    for a in (0, 1):
+        for state, first, second, tag in DYNAMIC_SENSITIZATIONS:
+            good = _fault_free_value(state, first)
+            bad = flip(good)
+            fps.append(FaultPrimitive(
+                name=f"dCFrd_a{a}_{tag}", ffm=FaultClass.D_CFRD, cells=2,
+                aggressor_state=a, victim_state=state,
+                op=second, op_role=VICTIM, effect=bad, read_out=bad,
+                op_pre=first))
+            fps.append(FaultPrimitive(
+                name=f"dCFdr_a{a}_{tag}", ffm=FaultClass.D_CFDR, cells=2,
+                aggressor_state=a, victim_state=state,
+                op=second, op_role=VICTIM, effect=bad, read_out=good,
+                op_pre=first))
+            fps.append(FaultPrimitive(
+                name=f"dCFir_a{a}_{tag}", ffm=FaultClass.D_CFIR, cells=2,
+                aggressor_state=a, victim_state=state,
+                op=second, op_role=VICTIM, effect=good, read_out=bad,
+                op_pre=first))
+    return fps
+
+
+#: The 18 single-cell two-operation dynamic FPs.
+DYNAMIC_SINGLE_CELL_FPS: Tuple[FaultPrimitive, ...] = tuple(
+    _build_single_cell_dynamic())
+
+#: The 48 two-cell two-operation dynamic FPs.
+DYNAMIC_TWO_CELL_FPS: Tuple[FaultPrimitive, ...] = tuple(
+    _build_two_cell_dynamic())
+
+#: Every dynamic FP, indexed by canonical name.
+ALL_DYNAMIC_FPS: Tuple[FaultPrimitive, ...] = (
+    DYNAMIC_SINGLE_CELL_FPS + DYNAMIC_TWO_CELL_FPS)
+
+
+def dynamic_single_cell_faults() -> Tuple[FaultPrimitive, ...]:
+    """The 18 single-cell dynamic FPs as a coverage target list."""
+    return DYNAMIC_SINGLE_CELL_FPS
+
+
+def dynamic_two_cell_faults() -> Tuple[FaultPrimitive, ...]:
+    """The 48 two-cell dynamic FPs as a coverage target list."""
+    return DYNAMIC_TWO_CELL_FPS
+
+
+def dynamic_faults() -> Tuple[FaultPrimitive, ...]:
+    """All 66 two-operation dynamic FPs."""
+    return ALL_DYNAMIC_FPS

@@ -1,0 +1,228 @@
+"""Linked faults (paper Section 3, Definitions 6 and 7).
+
+Two fault primitives are *linked* (``FP1 -> FP2``) when FP2 can mask
+FP1: its fault effect is the complement of FP1's (``F2 = NOT F1``) and
+its sensitization applies after FP1's on a shared victim cell.  In the
+AFP formulation (Definition 7) the state reached by FP1 must be the
+initial state of FP2 (``I2 = Fv1``).
+
+This module provides:
+
+* :class:`Topology` -- the structural classes of realistic linked
+  faults (after Hamdioui et al., TCAD 2004): single-cell (LF1),
+  two-cell with three role layouts (LF2aa / LF2av / LF2va) and
+  three-cell (LF3);
+* :class:`LinkedFault` -- an FP pair together with its topology and the
+  mapping of each FP's aggressor/victim onto the fault's global cell
+  roles;
+* the linking predicates :func:`are_linked`,
+  :func:`is_self_detecting` and :func:`masks_silently` used to derive
+  the realistic fault lists of :mod:`repro.faults.lists`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.faults.primitives import FaultPrimitive, VICTIM
+from repro.faults.values import flip
+
+
+class Topology(enum.Enum):
+    """Structural classes of linked faults.
+
+    * ``LF1`` -- both FPs on the same single cell.
+    * ``LF2AA`` -- both FPs are two-cell faults with the same aggressor
+      and the same victim.
+    * ``LF2AV`` -- FP1 is a two-cell fault (aggressor -> victim), FP2 a
+      single-cell fault on the victim.
+    * ``LF2VA`` -- FP1 is a single-cell fault on the victim, FP2 a
+      two-cell fault (aggressor -> victim).
+    * ``LF3`` -- both FPs are two-cell faults with distinct aggressors
+      and a shared victim (the Figure 1 scenario).
+    """
+
+    LF1 = "LF1"
+    LF2AA = "LF2aa"
+    LF2AV = "LF2av"
+    LF2VA = "LF2va"
+    LF3 = "LF3"
+
+    @property
+    def cells(self) -> int:
+        """Number of distinct memory cells the linked fault involves."""
+        if self is Topology.LF1:
+            return 1
+        if self is Topology.LF3:
+            return 3
+        return 2
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Global role labels per topology (victim always last), used by the
+#: placement machinery and in reports.
+ROLE_LABELS = {
+    Topology.LF1: ("v",),
+    Topology.LF2AA: ("a", "v"),
+    Topology.LF2AV: ("a", "v"),
+    Topology.LF2VA: ("a", "v"),
+    Topology.LF3: ("a1", "a2", "v"),
+}
+
+
+def _expected_fp_cells(topology: Topology) -> Tuple[int, int]:
+    """(cells of FP1, cells of FP2) required by each topology."""
+    return {
+        Topology.LF1: (1, 1),
+        Topology.LF2AA: (2, 2),
+        Topology.LF2AV: (2, 1),
+        Topology.LF2VA: (1, 2),
+        Topology.LF3: (2, 2),
+    }[topology]
+
+
+def is_self_detecting(fp: FaultPrimitive) -> bool:
+    """``True`` when sensitizing *fp* immediately reveals it.
+
+    A fault primitive whose sensitizing operation is a read of the
+    victim returning a value different from the fault-free one (RDF,
+    IRF, CFrd, CFir) is observed at the very operation that sensitizes
+    it: in a consistent march the read's expectation equals the
+    fault-free value, so the mismatch is flagged on the spot.  Such FPs
+    cannot act as the *first* component of a realistic linked fault.
+    """
+    return (
+        fp.op is not None
+        and fp.op.is_read
+        and fp.op_role == VICTIM
+        and fp.read_out is not None
+        and fp.read_out != fp.victim_state
+    )
+
+
+def masks_silently(fp1: FaultPrimitive, fp2: FaultPrimitive) -> bool:
+    """``True`` when FP2's own sensitization leaves no observable trace.
+
+    After FP1 the victim holds ``F1`` while the test believes it holds
+    ``NOT F1``.  If FP2 is sensitized by a read of the victim, the test
+    compares the returned value against ``NOT F1``; a returned value of
+    ``F1`` (deceptive reads: DRDF, CFdr) exposes the fault at the
+    masking operation itself, whereas ``NOT F1`` (destructive reads:
+    RDF, CFrd) masks it perfectly.  Write-sensitized and aggressor-
+    sensitized FP2s return nothing and always mask silently.
+    """
+    if fp2.op is None or not fp2.op.is_read or fp2.op_role != VICTIM:
+        return True
+    expected_by_test = flip(fp1.effect)
+    return fp2.read_out == expected_by_test
+
+
+def are_linked(fp1: FaultPrimitive, fp2: FaultPrimitive) -> bool:
+    """Definition 6/7 linking conditions at the FP level.
+
+    ``FP1 -> FP2`` requires:
+
+    1. FP1 actually corrupts the victim state (otherwise there is no
+       effect to mask);
+    2. FP2's required victim pre-state equals FP1's faulty effect
+       (``I2 = Fv1`` restricted to the shared victim);
+    3. FP2's effect is the complement of FP1's (``F2 = NOT F1``).
+    """
+    if not fp1.flips_victim:
+        return False
+    if fp2.victim_state != fp1.effect:
+        return False
+    return fp2.effect == flip(fp1.effect)
+
+
+@dataclass(frozen=True)
+class LinkedFault:
+    """A linked fault ``FP1 -> FP2`` with an explicit cell-role layout.
+
+    Attributes:
+        fp1: the first (masked) fault primitive.
+        fp2: the second (masking) fault primitive.
+        topology: structural class; determines how the FPs' aggressor
+            and victim roles map onto the fault's global cells.
+    """
+
+    fp1: FaultPrimitive
+    fp2: FaultPrimitive
+    topology: Topology
+
+    def __post_init__(self) -> None:
+        want1, want2 = _expected_fp_cells(self.topology)
+        if self.fp1.cells != want1 or self.fp2.cells != want2:
+            raise ValueError(
+                f"topology {self.topology} requires FP cell counts "
+                f"{(want1, want2)}, got "
+                f"{(self.fp1.cells, self.fp2.cells)}")
+        if not are_linked(self.fp1, self.fp2):
+            raise ValueError(
+                f"{self.fp1.name} -> {self.fp2.name} violates the "
+                "Definition 6/7 linking conditions")
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def cells(self) -> int:
+        """Number of distinct cells involved (1, 2 or 3)."""
+        return self.topology.cells
+
+    @property
+    def role_labels(self) -> Tuple[str, ...]:
+        """Labels of the fault's global cell roles (victim last)."""
+        return ROLE_LABELS[self.topology]
+
+    @property
+    def victim_role(self) -> int:
+        """Index of the victim in the global role tuple."""
+        return self.cells - 1
+
+    def fp_roles(self, which: int) -> Tuple[Optional[int], int]:
+        """Map ``fp1``/``fp2`` onto global roles.
+
+        Args:
+            which: 1 for FP1, 2 for FP2.
+
+        Returns:
+            ``(aggressor_role, victim_role)`` where each entry indexes
+            the fault's global role tuple; the aggressor entry is
+            ``None`` for single-cell FPs.
+        """
+        if which not in (1, 2):
+            raise ValueError("which must be 1 or 2")
+        victim = self.victim_role
+        if self.topology is Topology.LF1:
+            return (None, victim)
+        if self.topology is Topology.LF3:
+            return (0 if which == 1 else 1, victim)
+        fp = self.fp1 if which == 1 else self.fp2
+        if fp.cells == 1:
+            return (None, victim)
+        return (0, victim)
+
+    # ------------------------------------------------------------------
+    # Analysis helpers
+    # ------------------------------------------------------------------
+    @property
+    def masks_silently(self) -> bool:
+        """Whether FP2's sensitization is unobservable (see module doc)."""
+        return masks_silently(self.fp1, self.fp2)
+
+    @property
+    def name(self) -> str:
+        """Stable identifier, e.g. ``"LF2av:CFds_0w1_v0->WDF1"``."""
+        return f"{self.topology}:{self.fp1.name}->{self.fp2.name}"
+
+    def notation(self) -> str:
+        """The paper's arrow notation over FP literals."""
+        return f"{self.fp1.notation()} -> {self.fp2.notation()}"
+
+    def __str__(self) -> str:
+        return self.name

@@ -1,0 +1,590 @@
+"""Fault primitives: the ``<S / F / R>`` record of Definition 3.
+
+A fault primitive (FP) describes the difference between the expected
+and the observed memory behaviour:
+
+* ``S`` -- the sequence of sensitizing operations and/or conditions.
+  For *static* faults (the subject of the paper) ``S`` contains at most
+  one operation.  For two-cell FPs, ``S`` splits into ``Sa ; Sv``: the
+  condition/operation on the aggressor cell and on the victim cell.
+* ``F`` -- the faulty value of the victim cell after sensitization.
+* ``R`` -- the value returned by the sensitizing read, when ``S`` ends
+  with a read of the victim cell; ``-`` otherwise.
+
+The record below normalizes ``S`` into four orthogonal fields: the
+required pre-operation states of the aggressor and victim cells, the
+sensitizing operation (if any) and the cell role the operation targets.
+This normal form is what the fault simulator
+(:mod:`repro.memory.injection`) executes directly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.faults.operations import (
+    OpKind,
+    Operation,
+    read,
+    wait,
+    write,
+)
+from repro.faults.values import (
+    Bit,
+    CellState,
+    DONT_CARE,
+    state_str,
+    states_match,
+    validate_state,
+)
+
+
+class FaultClass(enum.Enum):
+    """Functional fault model (FFM) families for static SRAM faults.
+
+    Single-cell families: state fault (SF), transition fault (TF), write
+    destructive fault (WDF), read destructive fault (RDF), deceptive
+    read destructive fault (DRDF), incorrect read fault (IRF) and the
+    data retention fault (DRF, sensitized by the wait operation ``t``).
+
+    Two-cell (coupling) families: state (CFst), disturb (CFds),
+    transition (CFtr), write destructive (CFwd), read destructive
+    (CFrd), deceptive read destructive (CFdr) and incorrect read (CFir)
+    coupling faults.
+    """
+
+    SF = "SF"
+    TF = "TF"
+    WDF = "WDF"
+    RDF = "RDF"
+    DRDF = "DRDF"
+    IRF = "IRF"
+    DRF = "DRF"
+    CFST = "CFst"
+    CFDS = "CFds"
+    CFTR = "CFtr"
+    CFWD = "CFwd"
+    CFRD = "CFrd"
+    CFDR = "CFdr"
+    CFIR = "CFir"
+    # Two-operation dynamic families (the extension of the authors'
+    # companion work, ETS 2005 [15]; classified per Section 2's m = 2).
+    D_RDF = "dRDF"
+    D_DRDF = "dDRDF"
+    D_IRF = "dIRF"
+    D_CFDS = "dCFds"
+    D_CFRD = "dCFrd"
+    D_CFDR = "dCFdr"
+    D_CFIR = "dCFir"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Role markers for the cell targeted by the sensitizing operation.
+AGGRESSOR = "a"
+VICTIM = "v"
+
+
+@dataclass(frozen=True)
+class PreviousOperation:
+    """What the simulator remembers about the last memory operation.
+
+    Dynamic (``m = 2``) fault primitives are sensitized by two
+    *back-to-back* operations on the same cell; the simulator records
+    the previous operation so a dynamic FP can check it when the second
+    operation arrives.
+
+    Attributes:
+        kind: read or write.
+        value: value written (``None`` for reads).
+        pre_state: state of the operated cell before the operation.
+        address: the cell the operation targeted.
+    """
+
+    kind: OpKind
+    value: Optional[Bit]
+    pre_state: CellState
+    address: int
+
+
+@dataclass(frozen=True)
+class FaultPrimitive:
+    """A fault primitive in normal form (static, or two-operation
+    dynamic).
+
+    Attributes:
+        name: canonical identifier, e.g. ``"TFU"`` or ``"CFds_1w0_v1"``.
+        ffm: the functional fault model family this FP belongs to.
+        cells: number of distinct cells involved (1 or 2).
+        aggressor_state: required pre-operation aggressor state for
+            two-cell FPs (``0``, ``1`` or don't-care); ``None`` for
+            single-cell FPs, where aggressor and victim coincide.
+        victim_state: required pre-operation victim state.  For dynamic
+            FPs whose operations target the victim this is the state
+            *before the first operation*.
+        op: the (last) sensitizing operation, or ``None`` for pure
+            state faults (SF, CFst), which are sensitized by the state
+            itself.
+        op_role: which cell the sensitizing operation targets
+            (:data:`AGGRESSOR` or :data:`VICTIM`); ``None`` for state
+            faults.
+        effect: the victim value after sensitization (the ``F`` field).
+        read_out: the value returned by the sensitizing read when the
+            (last) operation is a read of the victim (the ``R`` field);
+            ``None`` otherwise.
+        op_pre: for *dynamic* (``m = 2``) FPs, the first operation of
+            the back-to-back pair; both operations target the same cell
+            (``op_role``).  ``None`` for static FPs.  The state
+            requirement for the operated cell is then checked against
+            the state *before* ``op_pre``.
+    """
+
+    name: str
+    ffm: FaultClass
+    cells: int
+    aggressor_state: Optional[CellState]
+    victim_state: CellState
+    op: Optional[Operation]
+    op_role: Optional[str]
+    effect: Bit
+    read_out: Optional[Bit] = None
+    op_pre: Optional[Operation] = None
+
+    def __post_init__(self) -> None:
+        if self.cells not in (1, 2):
+            raise ValueError("fault primitives involve 1 or 2 cells")
+        validate_state(self.victim_state)
+        if self.cells == 1:
+            if self.aggressor_state is not None:
+                raise ValueError("single-cell FPs have no aggressor state")
+            if self.op is not None and self.op_role != VICTIM:
+                raise ValueError("single-cell operations target the victim")
+        else:
+            if self.aggressor_state is None:
+                raise ValueError("two-cell FPs require an aggressor state")
+            validate_state(self.aggressor_state)
+        if self.op is None:
+            if self.op_role is not None:
+                raise ValueError("state faults have no operation role")
+            if self.read_out is not None:
+                raise ValueError("state faults return no read value")
+            if self.op_pre is not None:
+                raise ValueError("state faults have no operation pair")
+        else:
+            if self.op_role not in (AGGRESSOR, VICTIM):
+                raise ValueError("operation role must be 'a' or 'v'")
+            if self.op.is_wait and self.op_role != VICTIM:
+                raise ValueError("wait sensitization targets the victim")
+        if self.op_pre is not None:
+            if self.op_pre.is_wait or self.op.is_wait:
+                raise ValueError(
+                    "dynamic sensitizations pair reads and writes only")
+        if self.effect not in (0, 1):
+            raise ValueError("the fault effect F must be a binary value")
+        if self.read_out is not None:
+            if not (self.op is not None and self.op.is_read
+                    and self.op_role == VICTIM):
+                raise ValueError(
+                    "R is defined only when S ends with a read of the victim")
+            if self.read_out not in (0, 1):
+                raise ValueError("the read result R must be a binary value")
+
+    # ------------------------------------------------------------------
+    # Classification (Section 2 of the paper)
+    # ------------------------------------------------------------------
+    @property
+    def is_static(self) -> bool:
+        """``True`` when at most one operation sensitizes the FP."""
+        return self.op_pre is None
+
+    @property
+    def is_dynamic(self) -> bool:
+        """``True`` for two-operation (``m = 2``) sensitizations."""
+        return self.op_pre is not None
+
+    @property
+    def sensitizing_operations(self) -> Tuple[Operation, ...]:
+        """The operation sequence of ``S`` (empty for state faults)."""
+        if self.op is None:
+            return ()
+        if self.op_pre is None:
+            return (self.op,)
+        return (self.op_pre, self.op)
+
+    @property
+    def is_state_fault(self) -> bool:
+        """``True`` for condition-sensitized FPs (no operation)."""
+        return self.op is None
+
+    @property
+    def sensitized_by_read(self) -> bool:
+        """``True`` when the sensitizing operation is a read."""
+        return self.op is not None and self.op.is_read
+
+    @property
+    def sensitized_by_write(self) -> bool:
+        """``True`` when the sensitizing operation is a write."""
+        return self.op is not None and self.op.is_write
+
+    @property
+    def flips_victim(self) -> bool:
+        """``True`` when sensitization changes the victim's value.
+
+        For operation-sensitized FPs the reference value is the state
+        the victim would hold *after* a fault-free application of the
+        sensitizing operation (e.g. a transition fault "flips" the
+        victim with respect to the written value).
+        """
+        fault_free = self.fault_free_victim_value()
+        if fault_free == DONT_CARE:
+            return True
+        return self.effect != fault_free
+
+    def fault_free_victim_value(self) -> CellState:
+        """The victim value after a *fault-free* sensitization."""
+        value = self.victim_state
+        if self.op_role == VICTIM:
+            for op in self.sensitizing_operations:
+                if op.is_write:
+                    value = op.value
+        return value
+
+    # ------------------------------------------------------------------
+    # Sensitization matching
+    # ------------------------------------------------------------------
+    def matches(
+        self,
+        op_kind: OpKind,
+        op_value: Optional[Bit],
+        target_role: str,
+        aggressor_pre: CellState,
+        victim_pre: CellState,
+        previous: Optional[PreviousOperation] = None,
+        target_address: Optional[int] = None,
+    ) -> bool:
+        """Decide whether an operation sensitizes this FP.
+
+        Args:
+            op_kind: kind of the operation being performed.
+            op_value: written value for writes; ignored for reads (a
+                read sensitizes regardless of the test's expectation).
+            target_role: the role (:data:`AGGRESSOR` / :data:`VICTIM`)
+                of the cell the operation addresses.  For single-cell
+                FPs callers pass :data:`VICTIM`.
+            aggressor_pre: actual aggressor state before the operation
+                (any value for single-cell FPs).
+            victim_pre: actual victim state before the operation.
+            previous: the immediately preceding memory operation, for
+                dynamic FPs (``None`` when there is none or it was a
+                wait).
+            target_address: physical address of the operated cell; used
+                with *previous* to enforce the back-to-back-same-cell
+                requirement of dynamic sensitizations.
+
+        State faults never match an operation; they are applied as
+        post-operation conditions by the simulator.
+        """
+        if self.op is None:
+            return False
+        if self.op.kind is not op_kind:
+            return False
+        if target_role != self.op_role:
+            return False
+        if self.op.is_write and op_value != self.op.value:
+            return False
+        if self.op_pre is None:
+            return self._matches_static_states(aggressor_pre, victim_pre)
+        return self._matches_dynamic(
+            aggressor_pre, victim_pre, previous, target_address)
+
+    def _matches_static_states(
+        self, aggressor_pre: CellState, victim_pre: CellState
+    ) -> bool:
+        if not states_match(victim_pre, self.victim_state):
+            return False
+        if self.cells == 2:
+            assert self.aggressor_state is not None
+            if not states_match(aggressor_pre, self.aggressor_state):
+                return False
+        return True
+
+    def _matches_dynamic(
+        self,
+        aggressor_pre: CellState,
+        victim_pre: CellState,
+        previous: Optional[PreviousOperation],
+        target_address: Optional[int],
+    ) -> bool:
+        """Dynamic FPs additionally need a matching back-to-back pair.
+
+        The state requirement of the *operated* cell refers to its
+        value before the first operation; the other cell's requirement
+        is checked at second-operation time.
+        """
+        assert self.op_pre is not None
+        if previous is None or target_address is None:
+            return False
+        if previous.address != target_address:
+            return False
+        if previous.kind is not self.op_pre.kind:
+            return False
+        if self.op_pre.is_write and previous.value != self.op_pre.value:
+            return False
+        if self.op_role == VICTIM:
+            if not states_match(previous.pre_state, self.victim_state):
+                return False
+            if self.cells == 2:
+                assert self.aggressor_state is not None
+                if not states_match(aggressor_pre, self.aggressor_state):
+                    return False
+            return True
+        # Operations on the aggressor (dCFds): the aggressor condition
+        # is the pre-pair state, the victim condition is current.
+        assert self.aggressor_state is not None
+        if not states_match(previous.pre_state, self.aggressor_state):
+            return False
+        return states_match(victim_pre, self.victim_state)
+
+    def condition_holds(
+        self, aggressor_state: CellState, victim_state: CellState
+    ) -> bool:
+        """Check a state fault's standing condition (SF / CFst)."""
+        if self.op is not None:
+            return False
+        if not states_match(victim_state, self.victim_state):
+            return False
+        if self.cells == 2:
+            assert self.aggressor_state is not None
+            return states_match(aggressor_state, self.aggressor_state)
+        return True
+
+    # ------------------------------------------------------------------
+    # Notation
+    # ------------------------------------------------------------------
+    def notation(self) -> str:
+        """Render this FP in the paper's ``<S / F / R>`` notation."""
+        read_part = DONT_CARE if self.read_out is None else str(self.read_out)
+        if self.cells == 1:
+            return f"<{self._cell_part(VICTIM)}/{self.effect}/{read_part}>"
+        return (
+            f"<{self._cell_part(AGGRESSOR)};"
+            f"{self._cell_part(VICTIM)}/{self.effect}/{read_part}>"
+        )
+
+    def _cell_part(self, role: str) -> str:
+        state = (
+            self.victim_state if role == VICTIM else self.aggressor_state)
+        part = state_str(state if state is not None else DONT_CARE)
+        if self.op is not None and self.op_role == role:
+            current = state
+            for op in self.sensitizing_operations:
+                if op.is_write:
+                    part += f"w{op.value}"
+                    current = op.value
+                elif op.is_read:
+                    part += (f"r{state_str(current)}"
+                             if current != DONT_CARE else "r")
+                else:
+                    part += "t"
+        return part
+
+    def __str__(self) -> str:
+        return f"{self.name}{self.notation()}"
+
+
+# ----------------------------------------------------------------------
+# Parsing of the paper's textual notation
+# ----------------------------------------------------------------------
+
+def _parse_cell_part(text: str) -> dict:
+    """Parse one ``S`` component: a state condition followed by zero,
+    one or two operations, e.g. ``"0"``, ``"0w1"``, ``"1r1"`` or the
+    dynamic ``"0w0r0"`` / ``"1r1r1"``."""
+    body = text.strip()
+    if not body:
+        raise ValueError("empty sensitization component")
+    state: CellState
+    if body[0] in "01-":
+        state = 0 if body[0] == "0" else 1 if body[0] == "1" else DONT_CARE
+        rest = body[1:]
+    else:
+        state = DONT_CARE
+        rest = body
+    ops = []
+    index = 0
+    while index < len(rest):
+        head = rest[index]
+        if head == "w":
+            if index + 1 >= len(rest) or rest[index + 1] not in "01":
+                raise ValueError(f"invalid write sensitization {text!r}")
+            ops.append(write(int(rest[index + 1])))
+            index += 2
+        elif head == "r":
+            # An optional expected-value digit follows; it is implied
+            # by the state and the preceding writes, so it is skipped.
+            if index + 1 < len(rest) and rest[index + 1] in "01":
+                index += 2
+            else:
+                index += 1
+            ops.append(read(None))
+        elif head == "t":
+            ops.append(wait())
+            index += 1
+        else:
+            raise ValueError(f"invalid sensitization component {text!r}")
+    if len(ops) > 2:
+        raise ValueError(
+            f"at most two sensitizing operations are supported: {text!r}")
+    return {
+        "state": state,
+        "op": ops[-1] if ops else None,
+        "op_pre": ops[0] if len(ops) == 2 else None,
+    }
+
+
+def parse_fp(
+    text: str,
+    name: str = "FP",
+    ffm: Optional[FaultClass] = None,
+) -> FaultPrimitive:
+    """Parse an FP written in the paper's notation.
+
+    Examples accepted: ``"<0w1/0/->"`` (single cell),
+    ``"<0w1;0/1/->"`` (operation on the aggressor),
+    ``"<1;0r0/1/0>"`` (read of the victim under an aggressor condition).
+
+    Args:
+        text: the FP literal, angle brackets optional.
+        name: canonical name to attach to the primitive.
+        ffm: FFM family; inferred heuristically when omitted.
+    """
+    body = text.strip()
+    if body.startswith("<"):
+        body = body[1:]
+    if body.endswith(">"):
+        body = body[:-1]
+    pieces = [p.strip() for p in body.split("/")]
+    if len(pieces) != 3:
+        raise ValueError(f"an FP literal needs '<S/F/R>' parts: {text!r}")
+    s_part, f_part, r_part = pieces
+    if f_part not in ("0", "1"):
+        raise ValueError(f"the F field must be binary in {text!r}")
+    effect = int(f_part)
+    read_out: Optional[Bit]
+    if r_part == DONT_CARE or r_part == "":
+        read_out = None
+    elif r_part in ("0", "1"):
+        read_out = int(r_part)
+    else:
+        raise ValueError(f"invalid R field in {text!r}")
+
+    components = [c for c in s_part.split(";")]
+    if len(components) == 1:
+        victim = _parse_cell_part(components[0])
+        fp_ffm = ffm or _infer_single_cell_ffm(victim, effect, read_out)
+        return FaultPrimitive(
+            name=name,
+            ffm=fp_ffm,
+            cells=1,
+            aggressor_state=None,
+            victim_state=victim["state"],
+            op=victim["op"],
+            op_role=VICTIM if victim["op"] is not None else None,
+            effect=effect,
+            read_out=read_out,
+            op_pre=victim["op_pre"],
+        )
+    if len(components) == 2:
+        aggressor = _parse_cell_part(components[0])
+        victim = _parse_cell_part(components[1])
+        if aggressor["op"] is not None and victim["op"] is not None:
+            raise ValueError(
+                f"an FP's sensitizing operations target one cell: {text!r}")
+        if aggressor["op"] is not None:
+            op, op_pre, role = (
+                aggressor["op"], aggressor["op_pre"], AGGRESSOR)
+        elif victim["op"] is not None:
+            op, op_pre, role = victim["op"], victim["op_pre"], VICTIM
+        else:
+            op, op_pre, role = None, None, None
+        fp_ffm = ffm or _infer_two_cell_ffm(
+            role, op, op_pre, victim["state"], effect, read_out)
+        return FaultPrimitive(
+            name=name,
+            ffm=fp_ffm,
+            cells=2,
+            aggressor_state=aggressor["state"],
+            victim_state=victim["state"],
+            op=op,
+            op_role=role,
+            effect=effect,
+            read_out=read_out,
+            op_pre=op_pre,
+        )
+    raise ValueError(f"too many ';' components in {text!r}")
+
+
+def _infer_single_cell_ffm(
+    victim: dict, effect: Bit, read_out: Optional[Bit]
+) -> FaultClass:
+    op = victim["op"]
+    op_pre = victim.get("op_pre")
+    state = victim["state"]
+    if op is None:
+        return FaultClass.SF
+    if op_pre is not None:
+        # Dynamic pair ending in a read (w-r or r-r).
+        fault_free = op_pre.value if op_pre.is_write else state
+        if effect == fault_free:
+            return FaultClass.D_IRF
+        if read_out == fault_free:
+            return FaultClass.D_DRDF
+        return FaultClass.D_RDF
+    if op.is_wait:
+        return FaultClass.DRF
+    if op.is_write:
+        if op.value == state:
+            return FaultClass.WDF
+        return FaultClass.TF
+    # Read-sensitized families.
+    if effect == state:
+        return FaultClass.IRF
+    if read_out == state:
+        return FaultClass.DRDF
+    return FaultClass.RDF
+
+
+def _infer_two_cell_ffm(
+    role: Optional[str],
+    op: Optional[Operation],
+    op_pre: Optional[Operation],
+    victim_state: CellState,
+    effect: Bit,
+    read_out: Optional[Bit],
+) -> FaultClass:
+    if op is None:
+        return FaultClass.CFST
+    if role == AGGRESSOR:
+        return FaultClass.D_CFDS if op_pre is not None else FaultClass.CFDS
+    if op_pre is not None:
+        fault_free = op_pre.value if op_pre.is_write else victim_state
+        if effect == fault_free:
+            return FaultClass.D_CFIR
+        if read_out == fault_free:
+            return FaultClass.D_CFDR
+        return FaultClass.D_CFRD
+    if op.is_write:
+        # A failed transition write (CFtr) has op.value != victim_state,
+        # a destructive non-transition write (CFwd) has op.value == state.
+        if op.value == victim_state:
+            return FaultClass.CFWD
+        return FaultClass.CFTR
+    # Read of the victim under an aggressor state condition.
+    if effect == victim_state:
+        return FaultClass.CFIR
+    if read_out == victim_state:
+        return FaultClass.CFDR
+    return FaultClass.CFRD

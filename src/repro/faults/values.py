@@ -1,0 +1,102 @@
+"""Cell states and the ternary value algebra (paper Definition 1).
+
+The paper models the content of a memory cell with the alphabet
+``C = {0, 1, -}`` where ``-`` is a don't-care / unknown condition.  We
+represent known values with the integers ``0`` and ``1`` (type alias
+:data:`Bit`) and the unknown value with the singleton :data:`DONT_CARE`.
+
+A :class:`CellState` is the value of a single cell; memory-wide states
+are plain tuples of cell states (see :mod:`repro.memory.sram`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple, Union
+
+#: A fully specified binary cell value.
+Bit = int
+
+#: Sentinel for the "don't care" / unknown state (the ``-`` of the paper).
+DONT_CARE: str = "-"
+
+#: A cell state: either a :data:`Bit` or :data:`DONT_CARE`.
+CellState = Union[int, str]
+
+#: All valid cell states, in the paper's order.
+CELL_STATES: Tuple[CellState, ...] = (0, 1, DONT_CARE)
+
+
+def is_bit(value: object) -> bool:
+    """Return ``True`` when *value* is a fully specified binary value."""
+    return value is not DONT_CARE and value in (0, 1)
+
+
+def validate_state(value: CellState) -> CellState:
+    """Validate *value* as a member of ``C = {0, 1, -}`` and return it.
+
+    Raises:
+        ValueError: if *value* is not a valid cell state.
+    """
+    if value in (0, 1) or value == DONT_CARE:
+        return value
+    raise ValueError(f"invalid cell state {value!r}; expected 0, 1 or '-'")
+
+
+def flip(value: Bit) -> Bit:
+    """Return the logical complement of a fully specified bit.
+
+    The ``NOT`` operator of Definition 7 (``V(Fv2) = NOT [V(Fv1)]``).
+
+    Raises:
+        ValueError: if *value* is a don't-care; complementing an unknown
+            state has no defined meaning in the fault formalism.
+    """
+    if value == 0:
+        return 1
+    if value == 1:
+        return 0
+    raise ValueError(f"cannot flip non-binary cell state {value!r}")
+
+
+def state_str(value: CellState) -> str:
+    """Render a single cell state using the paper's alphabet."""
+    validate_state(value)
+    return DONT_CARE if value == DONT_CARE else str(value)
+
+
+def parse_state(text: str) -> CellState:
+    """Parse a single character of the paper's state alphabet."""
+    if text == "0":
+        return 0
+    if text == "1":
+        return 1
+    if text == DONT_CARE:
+        return DONT_CARE
+    raise ValueError(f"invalid cell state literal {text!r}")
+
+
+def word_str(states: Iterable[CellState]) -> str:
+    """Render a tuple of cell states as a compact word, e.g. ``101``.
+
+    The first character corresponds to the cell with the lowest address
+    (the paper's least significant bit convention, Definition 4).
+    """
+    return "".join(state_str(s) for s in states)
+
+
+def parse_word(text: str) -> Tuple[CellState, ...]:
+    """Parse a state word such as ``"101"`` or ``"1-0"`` into a tuple."""
+    return tuple(parse_state(ch) for ch in text)
+
+
+def states_match(actual: CellState, required: CellState) -> bool:
+    """Return ``True`` when *actual* satisfies the *required* condition.
+
+    A requirement of :data:`DONT_CARE` is satisfied by any actual state;
+    a binary requirement is satisfied only by the identical binary
+    value.  An *actual* don't-care never satisfies a binary requirement
+    (an unknown cell cannot be assumed to hold a specific value).
+    """
+    if required == DONT_CARE:
+        return True
+    return actual == required

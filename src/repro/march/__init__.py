@@ -1,0 +1,19 @@
+"""March test representation (paper Definition 10).
+
+A march test is a sequence of march elements; each element applies a
+fixed sequence of memory operations to every cell, visiting the cells
+in a specified address order (increasing ``⇑``, decreasing ``⇓`` or
+arbitrary ``⇕``, which the paper's Table 1 spells ``c``).
+"""
+
+from repro.march.element import AddressOrder, MarchElement
+from repro.march.test import MarchTest, parse_march
+from repro.march import known
+
+__all__ = [
+    "AddressOrder",
+    "MarchElement",
+    "MarchTest",
+    "parse_march",
+    "known",
+]

@@ -1,0 +1,123 @@
+"""The labelled digraph ``G0`` of the fault-free memory (Figure 2).
+
+Equation (10) of the paper: ``G = {V, E}`` with one vertex per memory
+state (``|V| = 2^n``) and one edge per (state, operation) pair, labelled
+``x / d`` where ``x`` is the operation and ``d = lambda(v, x)`` the
+produced output.
+
+The graph is the substrate of the pattern graph
+(:mod:`repro.core.pattern_graph`): faulty edges are added on top of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.faults.operations import Operation
+from repro.faults.values import CellState, DONT_CARE, word_str
+from repro.memory.model import MealyMemory, MemoryState
+
+
+@dataclass(frozen=True)
+class MemoryEdge:
+    """One labelled edge ``src --(op / output)--> dst`` of ``G0``."""
+
+    src: MemoryState
+    op: Operation
+    output: CellState
+    dst: MemoryState
+
+    @property
+    def label(self) -> str:
+        """The paper's edge label ``x / d`` (equation 11)."""
+        out = DONT_CARE if self.output == DONT_CARE else str(self.output)
+        return f"{self.op}/{out}"
+
+    def __str__(self) -> str:
+        return (
+            f"{word_str(self.src)} --[{self.label}]--> {word_str(self.dst)}")
+
+
+class MemoryGraph:
+    """``G0``: the complete labelled digraph of a fault-free memory.
+
+    Args:
+        cells: number of memory cells (2 reproduces Figure 2).
+    """
+
+    def __init__(self, cells: int):
+        self.automaton = MealyMemory(cells)
+        self.cells = cells
+        self._edges: List[MemoryEdge] = []
+        self._out: Dict[MemoryState, List[MemoryEdge]] = {}
+        for state in self.automaton.states():
+            self._out[state] = []
+        for state in self.automaton.states():
+            for op in self.automaton.operations():
+                dst, output = self.automaton.step(state, op)
+                edge = MemoryEdge(state, op, output, dst)
+                self._edges.append(edge)
+                self._out[state].append(edge)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def vertices(self) -> List[MemoryState]:
+        """All memory states, lexicographically ordered."""
+        return self.automaton.states()
+
+    @property
+    def edges(self) -> List[MemoryEdge]:
+        """All labelled edges."""
+        return list(self._edges)
+
+    def out_edges(self, state: MemoryState) -> List[MemoryEdge]:
+        """Edges leaving *state*."""
+        return list(self._out[state])
+
+    def edge_for(
+        self, state: MemoryState, op: Operation
+    ) -> MemoryEdge:
+        """The unique edge leaving *state* under *op* (determinism)."""
+        for edge in self._out[state]:
+            if edge.op == op:
+                return edge
+        raise KeyError(f"no edge from {word_str(state)} under {op}")
+
+    def vertex_count(self) -> int:
+        """``|V| = 2^n``."""
+        return 2 ** self.cells
+
+    def edge_count(self) -> int:
+        """``|E| = (3n + 1) * 2^n`` (2n writes + n reads + wait)."""
+        return len(self._edges)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def to_dot(self, name: str = "G0") -> str:
+        """Render the graph in Graphviz DOT (Figure 2 regeneration).
+
+        Self-loop labels are merged per target state to keep the output
+        readable, mirroring the figure's ``;``-separated labels.
+        """
+        lines = [f"digraph {name} {{", "  rankdir=LR;"]
+        for state in self.vertices:
+            lines.append(f'  "{word_str(state)}" [shape=circle];')
+        grouped: Dict[Tuple[MemoryState, MemoryState], List[str]] = {}
+        for edge in self._edges:
+            grouped.setdefault((edge.src, edge.dst), []).append(edge.label)
+        for (src, dst), labels in grouped.items():
+            label = " ; ".join(labels)
+            lines.append(
+                f'  "{word_str(src)}" -> "{word_str(dst)}" '
+                f'[label="{label}"];')
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def build_memory_graph(cells: int) -> MemoryGraph:
+    """Build ``G0`` for a memory of *cells* cells (Figure 2 uses 2)."""
+    return MemoryGraph(cells)

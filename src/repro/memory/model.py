@@ -1,0 +1,139 @@
+"""The fault-free memory as a deterministic Mealy automaton (Section 4).
+
+The paper models an *n* one-bit-cell memory as
+
+    M = (Q, X, Y, delta, lambda)
+
+with ``Q`` the set of memory states, ``X`` the operation alphabet of
+Definition 2, ``Y = {0, 1, -}`` the output alphabet (``-`` is produced
+by writes and waits), ``delta`` the state transition function and
+``lambda`` the output function.
+
+We enumerate ``Q`` over the fully specified states ``{0, 1}^n`` -- the
+don't-care states of the formal definition collapse onto these as soon
+as every cell has been written, and the graph of Figure 2 is drawn over
+the specified states only.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Tuple
+
+from repro.faults.operations import Operation, read, wait, write
+from repro.faults.values import Bit, CellState, DONT_CARE
+
+#: A fully specified memory state: one bit per cell, lowest address first.
+MemoryState = Tuple[Bit, ...]
+
+
+class MealyMemory:
+    """The deterministic Mealy automaton of an *n*-cell memory.
+
+    Args:
+        cells: number of one-bit cells (the paper uses 2 for Figure 2
+            and at most 3 for the fault lists).
+    """
+
+    def __init__(self, cells: int):
+        if cells < 1:
+            raise ValueError("the automaton needs at least one cell")
+        if cells > 12:
+            raise ValueError(
+                "state space 2^n explodes; this model is meant for the "
+                "small pattern-graph memories (n <= 12)")
+        self.cells = cells
+
+    # ------------------------------------------------------------------
+    # Alphabet
+    # ------------------------------------------------------------------
+    def states(self) -> List[MemoryState]:
+        """Enumerate ``Q`` in lexicographic order (``00`` first)."""
+        return [
+            tuple(bits)
+            for bits in itertools.product((0, 1), repeat=self.cells)
+        ]
+
+    def operations(self) -> List[Operation]:
+        """Enumerate the addressed input alphabet ``X``.
+
+        Per cell: ``w0``, ``w1`` and a read; plus the global wait
+        operation.  Reads are emitted without expectations -- the
+        automaton's output function provides the read value.
+        """
+        ops: List[Operation] = []
+        for cell in range(self.cells):
+            ops.append(write(0, cell))
+            ops.append(write(1, cell))
+            ops.append(read(None, cell))
+        ops.append(wait())
+        return ops
+
+    # ------------------------------------------------------------------
+    # Transition and output functions
+    # ------------------------------------------------------------------
+    def delta(self, state: MemoryState, op: Operation) -> MemoryState:
+        """The state transition function ``delta: Q x X -> Q``."""
+        self._check_state(state)
+        if op.is_write:
+            cell = self._check_addressed(op)
+            updated = list(state)
+            updated[cell] = op.value
+            return tuple(updated)
+        if op.is_read:
+            self._check_addressed(op)
+            return state
+        return state  # wait
+
+    def output(self, state: MemoryState, op: Operation) -> CellState:
+        """The output function ``lambda: Q x X -> Y``.
+
+        Reads return the addressed cell's value; writes and waits
+        return ``'-'`` as in the paper's edge labels (``w1i / -``).
+        """
+        self._check_state(state)
+        if op.is_read:
+            cell = self._check_addressed(op)
+            return state[cell]
+        return DONT_CARE
+
+    def step(
+        self, state: MemoryState, op: Operation
+    ) -> Tuple[MemoryState, CellState]:
+        """Apply one operation: ``(delta(q, x), lambda(q, x))``."""
+        return self.delta(state, op), self.output(state, op)
+
+    def run(
+        self, state: MemoryState, ops: Iterable[Operation]
+    ) -> Tuple[MemoryState, List[CellState]]:
+        """Run an addressed operation sequence, collecting outputs."""
+        outputs: List[CellState] = []
+        for op in ops:
+            state, out = self.step(state, op)
+            outputs.append(out)
+        return state, outputs
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def uniform_state(self, value: Bit) -> MemoryState:
+        """The state with every cell at *value* (inter-element state)."""
+        if value not in (0, 1):
+            raise ValueError("uniform states are fully specified")
+        return tuple([value] * self.cells)
+
+    def _check_state(self, state: MemoryState) -> None:
+        if len(state) != self.cells:
+            raise ValueError(
+                f"state {state!r} has {len(state)} cells, expected "
+                f"{self.cells}")
+        if any(bit not in (0, 1) for bit in state):
+            raise ValueError(f"state {state!r} is not fully specified")
+
+    def _check_addressed(self, op: Operation) -> int:
+        if op.cell is None:
+            raise ValueError(f"operation {op} must be addressed")
+        if not 0 <= op.cell < self.cells:
+            raise ValueError(
+                f"operation {op} addresses a cell outside 0..{self.cells - 1}")
+        return op.cell

@@ -1,0 +1,432 @@
+"""Dual-port SRAM substrate and weak inter-port faults (extension).
+
+The paper's Section 7 lists "the extension of the model to multi-port
+memory linked faults" as ongoing work.  This module provides the
+substrate that extension needs, following the two-port memory fault
+literature (Hamdioui & van de Goor):
+
+* a :class:`DualPortMemory` whose ports can operate *simultaneously*;
+* the **weak fault** model: defects too weak to be sensitized by any
+  single-port operation that *are* sensitized by simultaneous
+  operations on the two ports:
+
+  - ``wRDF``  -- simultaneous reads of one cell flip it and both ports
+    return the flipped value;
+  - ``wDRDF`` -- simultaneous reads flip the cell but still return the
+    correct value (deceptive);
+  - ``wIRF``  -- simultaneous reads return the wrong value, the cell is
+    undisturbed;
+  - ``wCFds`` -- simultaneous reads of an *aggressor* cell disturb a
+    victim cell.
+
+* dual-port march tests (:class:`DualPortElement`,
+  :class:`DualPortMarchTest`): march elements whose steps are pairs of
+  per-port operations -- the published two-port tests (e.g. March 2PF)
+  use exactly the same-cell ``(r0 : r0)`` idiom plus single-port steps,
+  written here as ``rA0&rB0`` and ``r0&-``;
+* a detection engine and coverage evaluation mirroring
+  :mod:`repro.sim` for the dual-port case.
+
+Single-port operations on a :class:`DualPortMemory` never sensitize
+weak faults; a conventional march test therefore achieves 0 % coverage
+of them, which is the motivating observation for two-port testing (and
+is pinned by the test suite).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.faults.operations import Operation, read, write
+from repro.faults.values import Bit, CellState, DONT_CARE, flip
+from repro.march.element import AddressOrder
+
+
+class WeakFaultClass(enum.Enum):
+    """Families of weak (inter-port) faults."""
+
+    W_RDF = "wRDF"
+    W_DRDF = "wDRDF"
+    W_IRF = "wIRF"
+    W_CFDS = "wCFds"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class WeakFaultPrimitive:
+    """A weak fault sensitized by simultaneous same-cell reads.
+
+    Attributes:
+        name: canonical identifier (``wRDF0``, ``wCFds_a1_v0``, ...).
+        ffm: weak fault family.
+        cells: 1 (the read cell is the victim) or 2 (the read cell is
+            an aggressor disturbing a distinct victim).
+        aggressor_state: required state of the simultaneously read cell.
+        victim_state: required victim pre-state (equals
+            ``aggressor_state`` for single-cell faults).
+        effect: victim value after sensitization.
+        read_out: value returned by *both* ports when the victim is the
+            read cell; ``None`` for ``wCFds`` (the aggressor reads
+            return its true value).
+    """
+
+    name: str
+    ffm: WeakFaultClass
+    cells: int
+    aggressor_state: Bit
+    victim_state: Bit
+    effect: Bit
+    read_out: Optional[Bit] = None
+
+    def __post_init__(self) -> None:
+        if self.cells not in (1, 2):
+            raise ValueError("weak faults involve 1 or 2 cells")
+        if self.cells == 1 and self.aggressor_state != self.victim_state:
+            raise ValueError(
+                "single-cell weak faults read the victim itself")
+
+    def notation(self) -> str:
+        """Literature-style notation, e.g. ``<0rA0:rB0/1/1>``."""
+        s = self.aggressor_state
+        if self.cells == 1:
+            r = DONT_CARE if self.read_out is None else self.read_out
+            return f"<{s}rA{s}:rB{s}/{self.effect}/{r}>"
+        return (f"<{s}rA{s}:rB{s};{self.victim_state}"
+                f"/{self.effect}/->")
+
+    def __str__(self) -> str:
+        return f"{self.name}{self.notation()}"
+
+
+def _build_weak_faults() -> Tuple[WeakFaultPrimitive, ...]:
+    fps: List[WeakFaultPrimitive] = []
+    for s in (0, 1):
+        f = flip(s)
+        fps.append(WeakFaultPrimitive(
+            f"wRDF{s}", WeakFaultClass.W_RDF, 1, s, s, f, read_out=f))
+        fps.append(WeakFaultPrimitive(
+            f"wDRDF{s}", WeakFaultClass.W_DRDF, 1, s, s, f, read_out=s))
+        fps.append(WeakFaultPrimitive(
+            f"wIRF{s}", WeakFaultClass.W_IRF, 1, s, s, s, read_out=f))
+    for a in (0, 1):
+        for v in (0, 1):
+            fps.append(WeakFaultPrimitive(
+                f"wCFds_a{a}_v{v}", WeakFaultClass.W_CFDS, 2, a, v,
+                flip(v)))
+    return tuple(fps)
+
+
+#: The ten canonical weak inter-port fault primitives.
+WEAK_FAULTS: Tuple[WeakFaultPrimitive, ...] = _build_weak_faults()
+
+_WEAK_BY_NAME = {fp.name: fp for fp in WEAK_FAULTS}
+
+
+def weak_fault_by_name(name: str) -> WeakFaultPrimitive:
+    """Look up a weak fault primitive by canonical name."""
+    try:
+        return _WEAK_BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown weak fault {name!r}; available: "
+            f"{sorted(_WEAK_BY_NAME)}") from None
+
+
+def weak_faults() -> Tuple[WeakFaultPrimitive, ...]:
+    """All weak inter-port faults as a coverage target list."""
+    return WEAK_FAULTS
+
+
+@dataclass(frozen=True)
+class BoundWeakFault:
+    """A weak fault bound to physical cells."""
+
+    fp: WeakFaultPrimitive
+    read_cell: int
+    victim: int
+
+    def __post_init__(self) -> None:
+        if self.fp.cells == 1 and self.read_cell != self.victim:
+            raise ValueError("single-cell weak faults read their victim")
+        if self.fp.cells == 2 and self.read_cell == self.victim:
+            raise ValueError("wCFds needs distinct aggressor and victim")
+
+    @property
+    def name(self) -> str:
+        if self.fp.cells == 1:
+            return f"{self.fp.name}[v={self.victim}]"
+        return f"{self.fp.name}[a={self.read_cell},v={self.victim}]"
+
+
+class DualPortMemory:
+    """A two-port SRAM with weak-fault hooks.
+
+    Single-port reads and writes behave ideally (weak faults are, by
+    definition, not sensitized by them).  :meth:`simultaneous_read`
+    performs the same-cycle two-port read that sensitizes weak faults.
+    Simultaneous write-write and read-write to one cell are port
+    conflicts and rejected, matching common dual-port SRAM contracts.
+    """
+
+    def __init__(self, size: int,
+                 fault: Optional[BoundWeakFault] = None):
+        if size < 1:
+            raise ValueError("memory size must be positive")
+        if fault is not None and max(
+                fault.read_cell, fault.victim) >= size:
+            raise ValueError("bound fault outside the memory")
+        self.size = size
+        self.fault = fault
+        self._cells: List[CellState] = [DONT_CARE] * size
+
+    def state(self) -> Tuple[CellState, ...]:
+        """Snapshot of every cell value."""
+        return tuple(self._cells)
+
+    def write(self, address: int, value: Bit) -> None:
+        """Single-port write (port A by convention)."""
+        self._cells[address] = value
+
+    def read(self, address: int) -> CellState:
+        """Single-port read: never sensitizes weak faults."""
+        return self._cells[address]
+
+    def simultaneous_read(
+        self, address_a: int, address_b: int
+    ) -> Tuple[CellState, CellState]:
+        """Same-cycle reads on both ports.
+
+        Returns the pair of observed values ``(port A, port B)``.  Weak
+        faults trigger only when both ports address the same cell and
+        the bound fault's conditions hold.
+        """
+        value_a = self._cells[address_a]
+        value_b = self._cells[address_b]
+        if address_a != address_b or self.fault is None:
+            return value_a, value_b
+        bound = self.fault
+        if address_a != bound.read_cell:
+            return value_a, value_b
+        read_state = self._cells[bound.read_cell]
+        victim_state = self._cells[bound.victim]
+        if read_state != bound.fp.aggressor_state:
+            return value_a, value_b
+        if victim_state != bound.fp.victim_state:
+            return value_a, value_b
+        self._cells[bound.victim] = bound.fp.effect
+        if bound.fp.read_out is not None:
+            return bound.fp.read_out, bound.fp.read_out
+        return value_a, value_b
+
+    def simultaneous(self, op_a: Operation, op_b: Operation) -> Tuple:
+        """General same-cycle operation pair.
+
+        Distinct-cell pairs execute independently; same-cell read-read
+        goes through :meth:`simultaneous_read`; same-cell write
+        conflicts are rejected.
+        """
+        if op_a.cell is None or op_b.cell is None:
+            raise ValueError("simultaneous operations must be addressed")
+        if op_a.cell == op_b.cell:
+            if op_a.is_read and op_b.is_read:
+                return self.simultaneous_read(op_a.cell, op_b.cell)
+            raise ValueError(
+                "same-cell simultaneous access with a write is a port "
+                "conflict")
+        results = []
+        for op in (op_a, op_b):
+            if op.is_write:
+                self.write(op.cell, op.value)
+                results.append(None)
+            else:
+                results.append(self.read(op.cell))
+        return tuple(results)
+
+
+@dataclass(frozen=True)
+class DualPortStep:
+    """One step of a dual-port march element.
+
+    Attributes:
+        port_a: the port A operation (address-free; the element's
+            address loop supplies the cell).
+        port_b: the port B operation mirroring the same cell, or
+            ``None`` when port B idles this step.
+    """
+
+    port_a: Operation
+    port_b: Optional[Operation] = None
+
+    def __post_init__(self) -> None:
+        if self.port_b is not None:
+            if not (self.port_a.is_read and self.port_b.is_read):
+                raise ValueError(
+                    "same-cell simultaneous steps must be read pairs")
+
+    def notation(self) -> str:
+        if self.port_b is None:
+            return f"{self.port_a}&-"
+        return f"{self.port_a}&{self.port_b}"
+
+    def __str__(self) -> str:
+        return self.notation()
+
+
+@dataclass(frozen=True)
+class DualPortElement:
+    """A march element over a dual-port memory."""
+
+    order: AddressOrder
+    steps: Tuple[DualPortStep, ...]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("a dual-port element needs at least one step")
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def notation(self) -> str:
+        body = ",".join(step.notation() for step in self.steps)
+        return f"{self.order.symbol}({body})"
+
+    def __str__(self) -> str:
+        return self.notation()
+
+
+@dataclass(frozen=True)
+class DualPortMarchTest:
+    """A dual-port march test: elements of per-port operation steps."""
+
+    name: str
+    elements: Tuple[DualPortElement, ...]
+
+    @property
+    def complexity(self) -> int:
+        """Steps per cell (each step is one memory cycle)."""
+        return sum(len(el) for el in self.elements)
+
+    def notation(self) -> str:
+        return "; ".join(el.notation() for el in self.elements)
+
+    def describe(self) -> str:
+        return f"{self.name} ({self.complexity}n): {self.notation()}"
+
+
+def run_dual_port(
+    test: DualPortMarchTest,
+    memory: DualPortMemory,
+    descending_any: bool = False,
+) -> Optional[Tuple[int, int, int]]:
+    """Run a dual-port march test; return the first detection site.
+
+    Returns ``(element, address, step)`` of the first read whose
+    observed value (on either port) differs from its expectation, or
+    ``None`` when the memory passes.
+    """
+    for element_index, element in enumerate(test.elements):
+        for address in element.order.addresses(
+                memory.size, descending=descending_any):
+            for step_index, step in enumerate(element.steps):
+                if step.port_b is None:
+                    op = step.port_a
+                    if op.is_write:
+                        memory.write(address, op.value)
+                        continue
+                    observed = memory.read(address)
+                    if op.value is not None and observed in (0, 1) \
+                            and observed != op.value:
+                        return element_index, address, step_index
+                else:
+                    out_a, out_b = memory.simultaneous_read(
+                        address, address)
+                    for op, observed in ((step.port_a, out_a),
+                                         (step.port_b, out_b)):
+                        if op.value is not None and observed in (0, 1) \
+                                and observed != op.value:
+                            return element_index, address, step_index
+    return None
+
+
+def weak_fault_instances(
+    fp: WeakFaultPrimitive, memory_size: int
+) -> List[BoundWeakFault]:
+    """All qualifying placements of a weak fault."""
+    if fp.cells == 1:
+        return [BoundWeakFault(fp, cell, cell)
+                for cell in sorted({0, memory_size - 1})]
+    low, high = 0, memory_size - 1
+    placements = [(low, high), (high, low)]
+    if high - low > 1:
+        placements += [(low, low + 1), (low + 1, low)]
+    return [BoundWeakFault(fp, a, v) for a, v in placements]
+
+
+def dual_port_coverage(
+    test: DualPortMarchTest,
+    faults: Sequence[WeakFaultPrimitive],
+    memory_size: int = 3,
+) -> Tuple[List[WeakFaultPrimitive], List[WeakFaultPrimitive]]:
+    """Evaluate *test* over *faults*; return (detected, escaped).
+
+    ``⇕`` elements are checked under both directions, mirroring the
+    single-port oracle's quantification.
+    """
+    detected: List[WeakFaultPrimitive] = []
+    escaped: List[WeakFaultPrimitive] = []
+    any_elements = any(
+        el.order is AddressOrder.ANY for el in test.elements)
+    directions = (False, True) if any_elements else (False,)
+    for fp in faults:
+        caught = True
+        for bound in weak_fault_instances(fp, memory_size):
+            for descending in directions:
+                memory = DualPortMemory(memory_size, bound)
+                if run_dual_port(test, memory, descending) is None:
+                    caught = False
+                    break
+            if not caught:
+                break
+        (detected if caught else escaped).append(fp)
+    return detected, escaped
+
+
+def march_d2pf() -> DualPortMarchTest:
+    """A dual-port march covering all ten weak faults (18n).
+
+    Structure: after initialization, the core element
+    ``(r&r, r&r, r, w̄)`` runs under **both** address orders and **both**
+    data backgrounds:
+
+    * the doubled same-cell read pair catches wRDF/wIRF on the first
+      pair and the deceptive wDRDF on the second;
+    * the pair also sensitizes wCFds on aggressor cells; the victim's
+      corruption is observed by the element's own leading pair when the
+      victim is visited later, or by the next element's leading reads
+      otherwise -- which is why each aggressor-state needs the ⇑ and ⇓
+      variants;
+    * the final ``⇕(r0)`` observes corruptions the last element leaves
+      behind.
+    """
+    rr0 = DualPortStep(read(0), read(0))
+    rr1 = DualPortStep(read(1), read(1))
+    single = lambda op: DualPortStep(op)
+    return DualPortMarchTest(
+        "March d2PF",
+        (
+            DualPortElement(AddressOrder.ANY, (single(write(0)),)),
+            DualPortElement(AddressOrder.UP, (rr0, rr0, single(read(0)),
+                                              single(write(1)))),
+            DualPortElement(AddressOrder.DOWN, (rr1, rr1, single(read(1)),
+                                                single(write(0)))),
+            DualPortElement(AddressOrder.DOWN, (rr0, rr0, single(read(0)),
+                                                single(write(1)))),
+            DualPortElement(AddressOrder.UP, (rr1, rr1, single(read(1)),
+                                              single(write(0)))),
+            DualPortElement(AddressOrder.ANY, (single(read(0)),)),
+        ),
+    )

@@ -1,0 +1,27 @@
+"""March-test fault simulation.
+
+* :mod:`repro.sim.placements` -- enumerating the cell-role placements a
+  fault class must be detected under;
+* :mod:`repro.sim.engine` -- executing a march test against a faulty
+  memory, including the up/down resolutions of ``⇕`` elements;
+* :mod:`repro.sim.coverage` -- the coverage oracle: does a march test
+  detect every instance of every fault in a list?
+"""
+
+from repro.sim.placements import role_placements, order_resolutions
+from repro.sim.engine import (
+    DetectionSite,
+    run_march,
+    detects_instance,
+)
+from repro.sim.coverage import CoverageOracle, CoverageReport
+
+__all__ = [
+    "role_placements",
+    "order_resolutions",
+    "DetectionSite",
+    "run_march",
+    "detects_instance",
+    "CoverageOracle",
+    "CoverageReport",
+]

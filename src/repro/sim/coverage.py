@@ -1,0 +1,361 @@
+"""Coverage qualification of march tests over fault lists.
+
+Two oracles share the same detection semantics:
+
+* :class:`CoverageOracle` -- batch evaluation: simulate a complete
+  march test against every fault in a list (over all placements and
+  ``⇕`` resolutions) and report detected/escaped faults.  This is the
+  reproduction of the paper's validation flow ("all generated Tests
+  have been fault simulated", Section 1).
+* :class:`IncrementalCoverage` -- the generator's workhorse: it keeps,
+  for every not-yet-detected (instance, resolution) context, a memory
+  snapshot after the current march prefix, so candidate elements can be
+  scored by simulating *only the candidate* from each snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple, Union
+
+from repro.faults.linked import LinkedFault
+from repro.faults.primitives import FaultPrimitive
+from repro.faults.values import CellState
+from repro.march.element import AddressOrder, MarchElement
+from repro.march.test import MarchTest
+from repro.memory.injection import FaultInstance
+from repro.memory.sram import FaultyMemory
+from repro.sim.engine import detects_instance, run_element
+from repro.sim.placements import (
+    DEFAULT_MEMORY_SIZE,
+    role_placements,
+)
+
+#: A coverage target: either a linked fault or a simple fault primitive.
+TargetFault = Union[LinkedFault, FaultPrimitive]
+
+
+def fault_name(fault: TargetFault) -> str:
+    """Uniform display name for linked faults and simple FPs."""
+    return fault.name
+
+
+def fault_cells(fault: TargetFault) -> int:
+    """Number of distinct cell roles of a coverage target."""
+    return fault.cells
+
+
+def make_instances(
+    fault: TargetFault, memory_size: int, lf3_layout: str = "straddle"
+) -> List[FaultInstance]:
+    """Bind a coverage target to every qualifying placement.
+
+    Placement tuples order roles with the victim last (matching
+    :attr:`LinkedFault.role_labels`); for simple two-cell primitives the
+    tuple is ``(aggressor, victim)``.
+    """
+    instances: List[FaultInstance] = []
+    for cells in role_placements(
+            fault_cells(fault), memory_size, lf3_layout):
+        if isinstance(fault, LinkedFault):
+            instances.append(FaultInstance.from_linked(fault, cells))
+        else:
+            if fault.cells == 1:
+                instances.append(FaultInstance.from_simple(
+                    fault, victim=cells[0]))
+            else:
+                instances.append(FaultInstance.from_simple(
+                    fault, victim=cells[1], aggressor=cells[0]))
+    return instances
+
+
+@dataclass
+class EscapeRecord:
+    """A fault a march test failed to detect, with a witness."""
+
+    fault: TargetFault
+    instance: FaultInstance
+    resolution: Tuple[bool, ...]
+
+    def __str__(self) -> str:
+        res = "".join("D" if d else "U" for d in self.resolution) or "-"
+        return f"{self.instance.name} (⇕ resolution {res})"
+
+
+@dataclass
+class CoverageReport:
+    """Outcome of qualifying one march test against a fault list."""
+
+    test_name: str
+    detected: List[TargetFault] = field(default_factory=list)
+    escapes: List[EscapeRecord] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.detected) + len(self.escaped_faults)
+
+    @property
+    def escaped_faults(self) -> List[TargetFault]:
+        seen: Set[str] = set()
+        faults = []
+        for record in self.escapes:
+            if fault_name(record.fault) not in seen:
+                seen.add(fault_name(record.fault))
+                faults.append(record.fault)
+        return faults
+
+    @property
+    def coverage(self) -> float:
+        """Fault coverage in [0, 1]."""
+        if self.total == 0:
+            return 1.0
+        return len(self.detected) / self.total
+
+    @property
+    def complete(self) -> bool:
+        """``True`` at 100 % fault coverage."""
+        return not self.escapes
+
+    def summary(self) -> str:
+        return (
+            f"{self.test_name}: {len(self.detected)}/{self.total} faults "
+            f"({100.0 * self.coverage:.1f} %)")
+
+    def __str__(self) -> str:
+        return self.summary()
+
+
+class CoverageOracle:
+    """Batch coverage evaluation of march tests over a fault list.
+
+    Args:
+        faults: the coverage targets (linked faults and/or simple FPs).
+        memory_size: simulated memory size (default 3; see DESIGN.md
+            §3.3).
+        exhaustive_limit: threshold for exhaustive ``⇕`` resolution
+            enumeration.
+        lf3_layout: three-cell placement policy (``"straddle"`` default
+            per the Figure 1 calibration; ``"all"`` for the strict
+            superset).
+    """
+
+    def __init__(
+        self,
+        faults: Sequence[TargetFault],
+        memory_size: int = DEFAULT_MEMORY_SIZE,
+        exhaustive_limit: int = 6,
+        lf3_layout: str = "straddle",
+    ):
+        self.faults = list(faults)
+        self.memory_size = memory_size
+        self.exhaustive_limit = exhaustive_limit
+        self.lf3_layout = lf3_layout
+        self._instances: Dict[str, List[FaultInstance]] = {
+            fault_name(f): make_instances(f, memory_size, lf3_layout)
+            for f in self.faults
+        }
+
+    def instances_of(self, fault: TargetFault) -> List[FaultInstance]:
+        """The bound placements qualifying *fault*."""
+        return list(self._instances[fault_name(fault)])
+
+    def detects(self, test: MarchTest, fault: TargetFault) -> bool:
+        """Does *test* detect every placement of *fault*?"""
+        return all(
+            detects_instance(
+                test, instance, self.memory_size, self.exhaustive_limit)
+            for instance in self._instances[fault_name(fault)]
+        )
+
+    def evaluate(self, test: MarchTest) -> CoverageReport:
+        """Qualify *test* against the whole fault list."""
+        report = CoverageReport(test_name=test.name)
+        incremental = IncrementalCoverage(
+            self.faults, self.memory_size, self.exhaustive_limit,
+            self.lf3_layout)
+        for element in test.elements:
+            incremental.append(element)
+        covered = incremental.covered_names()
+        for fault in self.faults:
+            if fault_name(fault) in covered:
+                report.detected.append(fault)
+            else:
+                witness = incremental.witness(fault_name(fault))
+                report.escapes.append(EscapeRecord(
+                    fault, witness[0], witness[1]))
+        return report
+
+
+@dataclass
+class _Context:
+    """One (fault, instance, resolution-prefix) simulation context."""
+
+    fault_index: int
+    instance: FaultInstance
+    resolution: Tuple[bool, ...]
+    snapshot: Tuple[CellState, ...]
+    previous: object = None  # PreviousOperation pairing state
+
+
+class IncrementalCoverage:
+    """Snapshot-based incremental coverage for the generator.
+
+    The march test is built element by element; after each
+    :meth:`append` the oracle advances every still-pending simulation
+    context and records which faults became fully covered.
+    :meth:`probe` scores a candidate element without committing.
+    """
+
+    def __init__(
+        self,
+        faults: Sequence[TargetFault],
+        memory_size: int = DEFAULT_MEMORY_SIZE,
+        exhaustive_limit: int = 6,
+        lf3_layout: str = "straddle",
+    ):
+        self.faults = list(faults)
+        self.memory_size = memory_size
+        self.exhaustive_limit = exhaustive_limit
+        self.lf3_layout = lf3_layout
+        self._element_count = 0
+        self._pending: List[_Context] = []
+        self._pending_per_fault: Dict[int, int] = {}
+        self._covered: Set[int] = set()
+        for index, fault in enumerate(self.faults):
+            instances = make_instances(fault, memory_size, lf3_layout)
+            for instance in instances:
+                fresh = FaultyMemory(memory_size, instance)
+                self._pending.append(_Context(
+                    index, instance, (), fresh.state()))
+            self._pending_per_fault[index] = len(instances)
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def covered_count(self) -> int:
+        return len(self._covered)
+
+    @property
+    def uncovered_count(self) -> int:
+        return len(self.faults) - len(self._covered)
+
+    def covered_names(self) -> Set[str]:
+        """Names of fully covered faults."""
+        return {fault_name(self.faults[i]) for i in self._covered}
+
+    def uncovered(self) -> List[TargetFault]:
+        """Faults with at least one undetected context."""
+        return [
+            fault for index, fault in enumerate(self.faults)
+            if index not in self._covered
+        ]
+
+    def witness(
+        self, name: str
+    ) -> Tuple[FaultInstance, Tuple[bool, ...]]:
+        """An escaping (instance, resolution) pair for fault *name*."""
+        for ctx in self._pending:
+            if fault_name(self.faults[ctx.fault_index]) == name:
+                return ctx.instance, ctx.resolution
+        raise KeyError(f"fault {name!r} has no pending context")
+
+    # ------------------------------------------------------------------
+    # Advancing
+    # ------------------------------------------------------------------
+    def append(self, element: MarchElement) -> Set[int]:
+        """Commit *element*; return indices of newly covered faults."""
+        survivors = self._advance(self._pending, element)
+        self._pending = self._dedup(survivors)
+        self._pending_per_fault = {}
+        for ctx in self._pending:
+            self._pending_per_fault[ctx.fault_index] = (
+                self._pending_per_fault.get(ctx.fault_index, 0) + 1)
+        before = set(self._covered)
+        for index in range(len(self.faults)):
+            if self._pending_per_fault.get(index, 0) == 0:
+                self._covered.add(index)
+        self._element_count += 1
+        return self._covered - before
+
+    def probe(
+        self, elements: Union[MarchElement, Sequence[MarchElement]]
+    ) -> Tuple[int, int]:
+        """Score one or more candidate elements without committing.
+
+        Returns:
+            ``(newly_covered_faults, contexts_resolved)`` -- the primary
+            and tie-breaking components of the generator's gain metric.
+            Contexts resolved counts pending simulation contexts that
+            would detect (progress even when no fault is fully covered
+            yet).
+        """
+        if isinstance(elements, MarchElement):
+            elements = [elements]
+        pending = self._pending
+        for element in elements:
+            pending = self._dedup(self._advance(pending, element))
+        pending_after: Dict[int, int] = {}
+        for ctx in pending:
+            pending_after[ctx.fault_index] = (
+                pending_after.get(ctx.fault_index, 0) + 1)
+        newly_covered = sum(
+            1 for index, count in self._pending_per_fault.items()
+            if count > 0 and pending_after.get(index, 0) == 0)
+        contexts_resolved = max(0, len(self._pending) - len(pending))
+        return newly_covered, contexts_resolved
+
+    def _advance(
+        self, pending: List[_Context], element: MarchElement
+    ) -> List[_Context]:
+        """Run *element* from every pending snapshot.
+
+        ``⇕`` elements fork each context into an ascending and a
+        descending continuation: the final test must detect under every
+        resolution.
+        """
+        if element.order is AddressOrder.UP:
+            directions = (False,)
+        elif element.order is AddressOrder.DOWN:
+            directions = (True,)
+        else:
+            directions = (False, True)
+        survivors: List[_Context] = []
+        for ctx in pending:
+            for descending in directions:
+                memory = FaultyMemory(self.memory_size, ctx.instance)
+                memory.load_state(ctx.snapshot)
+                memory.previous_operation = ctx.previous
+                site = run_element(
+                    element, self._element_count, memory, descending)
+                if site is not None:
+                    continue
+                survivors.append(_Context(
+                    ctx.fault_index,
+                    ctx.instance,
+                    ctx.resolution + ((descending,)
+                                      if len(directions) == 2 else ()),
+                    memory.state(),
+                    memory.previous_operation,
+                ))
+        return survivors
+
+    @staticmethod
+    def _dedup(contexts: List[_Context]) -> List[_Context]:
+        """Merge contexts sharing (fault, instance, memory state).
+
+        Two undetected contexts with identical snapshots (cells plus
+        dynamic pairing state) have identical futures; keeping one
+        bounds the ``⇕`` fork growth by the number of distinct states
+        instead of ``2^k``.
+        """
+        seen: Set[Tuple] = set()
+        unique: List[_Context] = []
+        for ctx in contexts:
+            key = (ctx.fault_index, ctx.instance.name, ctx.snapshot,
+                   ctx.previous)
+            if key in seen:
+                continue
+            seen.add(key)
+            unique.append(ctx)
+        return unique

@@ -1,0 +1,158 @@
+"""March-test execution against a (possibly faulty) memory.
+
+:func:`run_march` walks a march test over a :class:`FaultyMemory`
+instance, honouring address orders, and reports the first detecting
+read (detection is monotone: once a read mismatches, the device has
+failed the test).  :func:`detects_instance` quantifies over the up/down
+resolutions of ``⇕`` elements; full fault-class qualification (over
+placements too) lives in :mod:`repro.sim.coverage`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.faults.values import Bit, CellState
+from repro.march.element import AddressOrder, MarchElement
+from repro.march.test import MarchTest
+from repro.memory.injection import FaultInstance
+from repro.memory.sram import FaultyMemory
+from repro.sim.placements import order_resolutions
+
+
+@dataclass(frozen=True)
+class DetectionSite:
+    """Where a march test first detected a fault.
+
+    Attributes:
+        element: index of the detecting march element.
+        address: cell whose read mismatched.
+        operation: index of the read within the element.
+        expected: the march notation's expectation.
+        observed: the value the faulty memory returned.
+    """
+
+    element: int
+    address: int
+    operation: int
+    expected: Bit
+    observed: CellState
+
+    def __str__(self) -> str:
+        return (
+            f"element {self.element}, cell {self.address}, "
+            f"op {self.operation}: expected {self.expected}, "
+            f"observed {self.observed}")
+
+
+def run_march(
+    test: MarchTest,
+    memory: FaultyMemory,
+    resolution: Sequence[bool] = (),
+    start_element: int = 0,
+) -> Optional[DetectionSite]:
+    """Run *test* on *memory*; return the first detection site, if any.
+
+    Args:
+        test: the march test (assumed fault-free consistent).
+        memory: the memory under test; mutated in place.
+        resolution: ``descending?`` flags for the test's ``⇕`` elements
+            in order of appearance (missing entries default to
+            ascending).
+        start_element: skip elements before this index (used by the
+            incremental oracle to resume from a snapshot); the
+            resolution sequence still indexes ``⇕`` elements from the
+            start of the test.
+
+    Returns:
+        The first :class:`DetectionSite`, or ``None`` when the memory
+        passes the test.  A read of an uninitialized cell (``'-'``)
+        never detects: physical devices return an arbitrary level.
+    """
+    any_seen = 0
+    for element_index, element in enumerate(test.elements):
+        descending = False
+        if element.order is AddressOrder.ANY:
+            if any_seen < len(resolution):
+                descending = resolution[any_seen]
+            any_seen += 1
+        if element_index < start_element:
+            continue
+        site = run_element(
+            element, element_index, memory, descending)
+        if site is not None:
+            return site
+    return None
+
+
+def run_element(
+    element: MarchElement,
+    element_index: int,
+    memory: FaultyMemory,
+    descending: bool,
+) -> Optional[DetectionSite]:
+    """Run a single march element on *memory* (mutating it).
+
+    Public so the incremental coverage oracle can resume a simulation
+    from a snapshot taken after a shared march prefix.
+    """
+    for address in element.order.addresses(memory.size, descending):
+        for op_index, op in enumerate(element.operations):
+            if op.is_write:
+                memory.write(address, op.value)
+            elif op.is_read:
+                observed = memory.read(address)
+                if op.value is not None and observed in (0, 1) \
+                        and observed != op.value:
+                    return DetectionSite(
+                        element_index, address, op_index,
+                        op.value, observed)
+            else:
+                memory.wait()
+    return None
+
+
+def detects_instance(
+    test: MarchTest,
+    fault: FaultInstance,
+    memory_size: int,
+    exhaustive_limit: int = 6,
+) -> bool:
+    """Does *test* detect *fault* under every ``⇕`` resolution?
+
+    Args:
+        test: the march test.
+        fault: a fault instance already bound to physical cells.
+        memory_size: size of the simulated memory.
+        exhaustive_limit: see
+            :func:`repro.sim.placements.order_resolutions`.
+    """
+    any_count = sum(
+        1 for el in test.elements if el.order is AddressOrder.ANY)
+    for resolution in order_resolutions(any_count, exhaustive_limit):
+        memory = FaultyMemory(memory_size, fault)
+        if run_march(test, memory, resolution) is None:
+            return False
+    return True
+
+
+def escape_sites(
+    test: MarchTest,
+    fault: FaultInstance,
+    memory_size: int,
+    exhaustive_limit: int = 6,
+) -> List[Tuple[Tuple[bool, ...], Optional[DetectionSite]]]:
+    """Diagnostic variant of :func:`detects_instance`.
+
+    Returns, for every resolution, the detection site (or ``None`` on
+    escape) -- used by examples and failure analyses to show *where*
+    masking defeated a test.
+    """
+    any_count = sum(
+        1 for el in test.elements if el.order is AddressOrder.ANY)
+    outcomes = []
+    for resolution in order_resolutions(any_count, exhaustive_limit):
+        memory = FaultyMemory(memory_size, fault)
+        outcomes.append((resolution, run_march(test, memory, resolution)))
+    return outcomes

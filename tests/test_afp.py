@@ -1,0 +1,119 @@
+"""Unit tests for AFPs and test patterns (Definitions 4-5).
+
+The paper's worked examples are pinned verbatim:
+
+* ``<0w1; 0/1/->`` on two cells gives ``AFP1 = (00, w[0]1, 11, 10)``
+  and ``AFP2 = (00, w[1]1, 11, 01)`` with test patterns
+  ``TP1 = (00, w[0]1, r[1]0)`` and ``TP2 = (00, w[1]1, r[0]0)``;
+* the linked pair of equation (13):
+  ``(00, w[0]1, 11, 10) -> (11, w[0]0, 00, 01)``.
+"""
+
+import pytest
+
+from repro.core.afp import (
+    AddressedFaultPrimitive,
+    afps_for_bound_primitive,
+    linked_afp_chains,
+)
+from repro.faults.library import fp_by_name
+from repro.faults.linked import LinkedFault, Topology
+from repro.faults.operations import read, write
+from repro.memory.injection import BoundPrimitive, FaultInstance
+
+
+class TestPaperSection2Example:
+    """FP = <0w1; 0/1/-> expands into the paper's two AFPs."""
+
+    def test_afp_with_aggressor_cell_0(self):
+        bound = BoundPrimitive(fp_by_name("CFds_0w1_v0"), 0, 1)
+        afps = afps_for_bound_primitive(bound, cells=2)
+        assert len(afps) == 1
+        afp = afps[0]
+        assert afp.notation() == "(00, w[0]1, 11, 10)"
+
+    def test_afp_with_aggressor_cell_1(self):
+        bound = BoundPrimitive(fp_by_name("CFds_0w1_v0"), 1, 0)
+        afps = afps_for_bound_primitive(bound, cells=2)
+        assert afps[0].notation() == "(00, w[1]1, 11, 01)"
+
+    def test_test_patterns_match_paper(self):
+        bound1 = BoundPrimitive(fp_by_name("CFds_0w1_v0"), 0, 1)
+        tp1 = afps_for_bound_primitive(bound1, 2)[0].to_test_pattern()
+        assert tp1.notation() == "(00, w[0]1, r[1]0)"
+        bound2 = BoundPrimitive(fp_by_name("CFds_0w1_v0"), 1, 0)
+        tp2 = afps_for_bound_primitive(bound2, 2)[0].to_test_pattern()
+        assert tp2.notation() == "(00, w[1]1, r[0]0)"
+
+
+class TestAfpMechanics:
+    def test_free_cells_enumerate_both_values(self):
+        # A single-cell FP on a 2-cell model: the other cell is free.
+        bound = BoundPrimitive(fp_by_name("TFU"), None, 0)
+        afps = afps_for_bound_primitive(bound, cells=2)
+        assert len(afps) == 2
+        initials = {afp.initial for afp in afps}
+        assert initials == {(0, 0), (0, 1)}
+
+    def test_state_faults_have_no_afp(self):
+        bound = BoundPrimitive(fp_by_name("SF0"), None, 0)
+        assert afps_for_bound_primitive(bound, cells=2) == []
+
+    def test_victim_accessors(self):
+        bound = BoundPrimitive(fp_by_name("CFds_0w1_v0"), 0, 1)
+        afp = afps_for_bound_primitive(bound, 2)[0]
+        assert afp.victim_faulty_value() == 1
+        assert afp.victim_expected_value() == 0
+
+    def test_read_sensitized_afp_keeps_state(self):
+        bound = BoundPrimitive(fp_by_name("DRDF1"), None, 0)
+        afp = afps_for_bound_primitive(bound, cells=1)[0]
+        assert afp.initial == (1,)
+        assert afp.expected == (1,)
+        assert afp.faulty == (0,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AddressedFaultPrimitive(
+                initial=(0, 0), operations=(write(1, 0),),
+                faulty=(1,), expected=(1, 0), victim=1)
+        with pytest.raises(ValueError):
+            AddressedFaultPrimitive(
+                initial=(0,), operations=(write(1),),  # unaddressed op
+                faulty=(1,), expected=(1,), victim=0)
+
+    def test_observe_must_expect(self):
+        from repro.core.afp import TestPattern
+        with pytest.raises(ValueError):
+            TestPattern(
+                initial=(0,), operations=(write(1, 0),),
+                observe=read(None, 0))
+
+
+class TestLinkedChains:
+    def test_equation_13_chain(self):
+        # (00, w[0]1, 11, 10) -> (11, w[0]0, 00, 01)
+        fault = LinkedFault(
+            fp_by_name("CFds_0w1_v0"), fp_by_name("CFds_1w0_v1"),
+            Topology.LF2AA)
+        instance = FaultInstance.from_linked(fault, (0, 1))
+        chains = linked_afp_chains(instance, cells=2)
+        assert len(chains) == 1
+        afp1, afp2 = chains[0]
+        assert afp1.notation() == "(00, w[0]1, 11, 10)"
+        assert afp2.notation() == "(11, w[0]0, 00, 01)"
+
+    def test_chain_requires_direct_state_match(self):
+        # FP2 requiring a different aggressor state cannot chain
+        # directly (Definition 7's I2 = Fv1 over all involved cells).
+        fault = LinkedFault(
+            fp_by_name("CFds_0w1_v0"), fp_by_name("CFds_0w1_v1"),
+            Topology.LF2AA)
+        instance = FaultInstance.from_linked(fault, (0, 1))
+        # After FP1 the aggressor holds 1, but FP2 needs it at 0.
+        assert linked_afp_chains(instance, cells=2) == []
+
+    def test_chain_needs_two_components(self):
+        instance = FaultInstance.from_simple(fp_by_name("TFU"), victim=0)
+        with pytest.raises(ValueError):
+            linked_afp_chains(instance, cells=1)

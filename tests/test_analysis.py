@@ -1,0 +1,116 @@
+"""Unit tests for the analysis/reporting layer."""
+
+import pytest
+
+from repro.analysis.compare import (
+    Table1Row,
+    coverage_matrix,
+    improvement,
+    render_table1,
+)
+from repro.analysis.dot import (
+    figure4_linked_fault,
+    g0_dot,
+    pgcf_example_graph,
+)
+from repro.analysis.table import TextTable
+from repro.faults.lists import lf1_faults
+from repro.march.known import MARCH_ABL1, MARCH_LF1, MATS_PLUS
+
+
+class TestTextTable:
+    def test_render_alignment(self):
+        table = TextTable(["a", "long header"])
+        table.add_row(["x", "y"])
+        lines = table.render().splitlines()
+        assert lines[0].startswith("a")
+        assert "long header" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 3
+
+    def test_row_arity_checked(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(["only one"])
+
+    def test_needs_columns(self):
+        with pytest.raises(ValueError):
+            TextTable([])
+
+    def test_cells_are_stringified(self):
+        table = TextTable(["n"])
+        table.add_row([42])
+        assert "42" in table.render()
+
+
+class TestImprovement:
+    def test_paper_table1_arithmetic(self):
+        """The exact percentages of Table 1."""
+        assert improvement(37, 43) == pytest.approx(13.95, abs=0.05)
+        assert improvement(37, 41) == pytest.approx(9.76, abs=0.06)
+        assert improvement(35, 43) == pytest.approx(18.60, abs=0.05)
+        assert improvement(35, 41) == pytest.approx(14.63, abs=0.05)
+        assert improvement(9, 11) == pytest.approx(18.18, abs=0.08)
+
+    def test_longer_tests_give_negative_improvement(self):
+        assert improvement(50, 43) < 0
+
+    def test_baseline_must_be_positive(self):
+        with pytest.raises(ValueError):
+            improvement(10, 0)
+
+
+class TestRenderTable1:
+    def test_render_contains_baseline_columns(self):
+        row = Table1Row(
+            name="Gen ABL1 (repro)",
+            test=MARCH_ABL1.test,
+            fault_list_label="#2",
+            cpu_seconds=0.5,
+            coverage_percent=100.0,
+            improvements={
+                "43n March Test": improvement(9, 43),
+                "March SL": improvement(9, 41),
+                "March LF1": improvement(9, 11),
+            },
+        )
+        text = render_table1([row])
+        assert "vs 43n [11]" in text
+        assert "vs 41n SL" in text
+        assert "vs 11n LF1" in text
+        assert "18.2%" in text         # 9n vs 11n LF1
+        assert "9n" in text
+        # FL#1 columns are not applicable to an FL#2 row.
+        assert "-" in text
+
+
+class TestCoverageMatrix:
+    def test_matrix_shape_and_values(self):
+        table = coverage_matrix(
+            [MARCH_ABL1.test, MATS_PLUS.test, MARCH_LF1.test],
+            {"LF1": lf1_faults()},
+        )
+        text = table.render()
+        assert "March ABL1" in text and "MATS+" in text
+        assert "100.0" in text
+        lines = text.splitlines()
+        assert len(lines) == 2 + 3  # header + separator + 3 tests
+
+
+class TestDotExports:
+    def test_g0_dot_for_two_cells(self):
+        dot = g0_dot(2)
+        assert dot.startswith("digraph G0")
+        assert '"00"' in dot and '"11"' in dot
+
+    def test_figure4_fault_identity(self):
+        fault = figure4_linked_fault()
+        assert fault.fp1.name == "CFds_0w1_v0"
+        assert fault.fp2.name == "CFds_1w0_v1"
+        assert fault.notation() == "<0w1;0/1/-> -> <1w0;1/0/->"
+
+    def test_pgcf_graph_dot(self):
+        graph, instance = pgcf_example_graph()
+        dot = graph.to_dot("PGCF")
+        assert dot.count("style=bold") == 2
+        assert "w[0]1,r[1]0" in dot

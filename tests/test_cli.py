@@ -1,0 +1,80 @@
+"""Unit tests for the ``repro-march`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["lists"],
+            ["known"],
+            ["coverage", "March SL"],
+            ["simulate", "c(w0) c(r0)"],
+            ["generate", "--fault-list", "2"],
+            ["table1"],
+            ["matrix"],
+            ["figure", "--which", "pgcf"],
+        ):
+            assert parser.parse_args(argv).command == argv[0]
+
+
+class TestCommands:
+    def test_lists(self, capsys):
+        assert main(["lists"]) == 0
+        out = capsys.readouterr().out
+        assert "876 faults" in out
+        assert "24 faults" in out
+
+    def test_known(self, capsys):
+        assert main(["known"]) == 0
+        out = capsys.readouterr().out
+        assert "March ABL" in out
+        assert "(reconstruction)" in out
+
+    def test_coverage_complete(self, capsys):
+        assert main(["coverage", "March ABL1", "--fault-list", "2"]) == 0
+        assert "100.0 %" in capsys.readouterr().out
+
+    def test_coverage_incomplete_returns_1(self, capsys):
+        code = main(["coverage", "March C-", "--fault-list", "2",
+                     "--verbose"])
+        assert code == 1
+        assert "escape:" in capsys.readouterr().out
+
+    def test_simulate(self, capsys):
+        code = main([
+            "simulate", "c(w0) c(w0,r0,r0,w1) c(w1,r1,r1,w0)",
+            "--fault-list", "2"])
+        assert code == 0
+        assert "(9n)" in capsys.readouterr().out
+
+    def test_simulate_rejects_inconsistent_march(self):
+        with pytest.raises(Exception):
+            main(["simulate", "U(r1)", "--fault-list", "2"])
+
+    def test_generate_small_list(self, capsys):
+        code = main(["generate", "--fault-list", "lf1", "--verbose",
+                     "--name", "cli-gen"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cli-gen" in out
+        assert "100.0 %" in out
+
+    def test_figure_g0(self, capsys):
+        assert main(["figure", "--which", "g0"]) == 0
+        assert "digraph G0" in capsys.readouterr().out
+
+    def test_figure_pgcf(self, capsys):
+        assert main(["figure", "--which", "pgcf"]) == 0
+        assert "style=bold" in capsys.readouterr().out
+
+    def test_unknown_fault_list(self):
+        with pytest.raises(SystemExit):
+            main(["coverage", "March SL", "--fault-list", "nope"])

@@ -1,0 +1,94 @@
+"""Tests for test-program code generation."""
+
+import pytest
+
+from repro.analysis.codegen import (
+    _c_identifier,
+    application_time,
+    to_c_function,
+    to_vector_list,
+)
+from repro.march.known import MARCH_ABL1, MARCH_SL
+from repro.march.test import parse_march
+
+
+class TestCIdentifier:
+    def test_mangling(self):
+        assert _c_identifier("March ABL") == "march_abl"
+        assert _c_identifier("March C-") == "march_c"
+        assert _c_identifier("43n March Test") == "march_43n_march_test"
+
+
+class TestCFunction:
+    def test_structure(self):
+        code = to_c_function(MARCH_ABL1.test)
+        assert "long march_abl1(volatile unsigned char *mem" in code
+        assert code.count("for (") == len(MARCH_ABL1.test.elements)
+        assert "return -1;" in code
+        # Every expecting read compares and returns the failing index.
+        expecting_reads = sum(
+            1 for el in MARCH_ABL1.test.elements
+            for op in el.operations if op.is_read and op.value is not None)
+        assert code.count("return (long)i;") == expecting_reads
+
+    def test_descending_elements_use_reverse_loops(self):
+        code = to_c_function(MARCH_SL.test)
+        assert "for (i = n; i-- > 0; )" in code
+
+    def test_word_type_is_configurable(self):
+        code = to_c_function(MARCH_ABL1.test, word_type="uint32_t")
+        assert "volatile uint32_t *mem" in code
+
+    def test_wait_operations_rejected(self):
+        test = parse_march("c(w0) c(t,r0)", name="retention")
+        with pytest.raises(ValueError):
+            to_c_function(test)
+
+    def test_header_mentions_complexity(self):
+        code = to_c_function(MARCH_ABL1.test)
+        assert "(9n)" in code
+
+    def test_generated_c_is_balanced(self):
+        code = to_c_function(MARCH_SL.test)
+        assert code.count("{") == code.count("}")
+
+
+class TestVectorList:
+    def test_vector_count(self):
+        vectors = to_vector_list(MARCH_ABL1.test, n=4)
+        assert len(vectors) == MARCH_ABL1.complexity * 4
+
+    def test_vector_shape(self):
+        vectors = to_vector_list(
+            parse_march("c(w0) U(r0,w1)", name="small"), n=2)
+        assert vectors == [
+            "W 0 0", "W 1 0",
+            "R 0 0", "W 0 1", "R 1 0", "W 1 1",
+        ]
+
+    def test_descending_addresses(self):
+        vectors = to_vector_list(
+            parse_march("c(w0) D(r0)", name="down"), n=3)
+        assert vectors[-3:] == ["R 2 0", "R 1 0", "R 0 0"]
+
+    def test_expectation_free_reads(self):
+        vectors = to_vector_list(
+            parse_march("c(w0) U(r)", name="free"), n=1)
+        assert vectors[-1] == "R 0 -"
+
+
+class TestTestTime:
+    def test_model(self):
+        # 41n on 1 Mi cells at 10 ns/access.
+        seconds = application_time(MARCH_SL.test, cells=1 << 20, cycle_ns=10.0)
+        assert seconds == pytest.approx(41 * (1 << 20) * 10e-9)
+
+    def test_shorter_tests_save_time(self):
+        n = 1 << 20
+        assert application_time(MARCH_ABL1.test, n) < application_time(MARCH_SL.test, n)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            application_time(MARCH_SL.test, 0)
+        with pytest.raises(ValueError):
+            application_time(MARCH_SL.test, 8, cycle_ns=0)

@@ -1,0 +1,153 @@
+"""Unit tests for the coverage oracles (batch and incremental)."""
+
+import pytest
+
+from repro.faults.library import fp_by_name
+from repro.faults.linked import LinkedFault, Topology
+from repro.faults.lists import lf1_faults, simple_single_cell_faults
+from repro.march.element import AddressOrder, MarchElement
+from repro.march.test import parse_march
+from repro.faults.operations import read, write
+from repro.sim.coverage import (
+    CoverageOracle,
+    IncrementalCoverage,
+    make_instances,
+)
+
+
+class TestMakeInstances:
+    def test_simple_single_cell(self):
+        instances = make_instances(fp_by_name("TFU"), 3)
+        assert len(instances) == 2  # both array boundaries
+
+    def test_simple_two_cell_orders(self):
+        instances = make_instances(fp_by_name("CFds_0w1_v0"), 3)
+        assert len(instances) == 4
+
+    def test_linked_three_cell_straddle(self):
+        fault = LinkedFault(
+            fp_by_name("CFds_0w1_v0"), fp_by_name("CFds_0w1_v1"),
+            Topology.LF3)
+        assert len(make_instances(fault, 3, "straddle")) == 2
+        assert len(make_instances(fault, 3, "all")) == 6
+
+
+class TestCoverageOracle:
+    def test_simple_static_faults_against_march_ss(self):
+        ss = parse_march(
+            "c(w0) U(r0,r0,w0,r0,w1) U(r1,r1,w1,r1,w0)"
+            " D(r0,r0,w0,r0,w1) D(r1,r1,w1,r1,w0) c(r0)",
+            name="March SS")
+        oracle = CoverageOracle(simple_single_cell_faults())
+        report = oracle.evaluate(ss)
+        assert report.complete
+        assert report.coverage == 1.0
+
+    def test_mats_plus_misses_static_faults(self):
+        mats = parse_march("c(w0) U(r0,w1) D(r1,w0)", name="MATS+")
+        oracle = CoverageOracle(simple_single_cell_faults())
+        report = oracle.evaluate(mats)
+        assert not report.complete
+        escaped = {f.name for f in report.escaped_faults}
+        # Destructive/deceptive reads need double reads to be caught.
+        assert "DRDF0" in escaped or "DRDF1" in escaped
+
+    def test_report_accounting(self):
+        mats = parse_march("c(w0) U(r0,w1) D(r1,w0)", name="MATS+")
+        oracle = CoverageOracle(simple_single_cell_faults())
+        report = oracle.evaluate(mats)
+        assert report.total == 12
+        assert len(report.detected) + len(report.escaped_faults) == 12
+        assert 0.0 < report.coverage < 1.0
+        assert "MATS+" in report.summary()
+
+    def test_detects_single_fault(self):
+        oracle = CoverageOracle([fp_by_name("SF0")])
+        good = parse_march("c(w0) c(r0)")
+        bad = parse_march("c(w1) c(r1)")
+        assert oracle.detects(good, fp_by_name("SF0"))
+        assert not oracle.detects(bad, fp_by_name("SF0"))
+
+
+class TestIncrementalCoverage:
+    def _elements(self, notation):
+        return parse_march(notation).elements
+
+    def test_matches_batch_oracle(self):
+        faults = lf1_faults()
+        test = parse_march(
+            "c(w0) c(w0,r0,r0,w1) c(w1,r1,r1,w0)", name="March ABL1")
+        batch = CoverageOracle(faults).evaluate(test)
+        incremental = IncrementalCoverage(faults)
+        for element in test.elements:
+            incremental.append(element)
+        assert incremental.covered_names() == \
+            {f.name for f in batch.detected}
+
+    def test_probe_does_not_commit(self):
+        faults = lf1_faults()
+        oracle = IncrementalCoverage(faults)
+        oracle.append(MarchElement(AddressOrder.ANY, (write(0),)))
+        before = oracle.uncovered_count
+        element = self._elements("c(w0,r0,r0,w1)")[0]
+        newly, resolved = oracle.probe(element)
+        assert newly > 0
+        assert oracle.uncovered_count == before
+
+    def test_probe_accepts_sequences(self):
+        faults = lf1_faults()
+        oracle = IncrementalCoverage(faults)
+        oracle.append(MarchElement(AddressOrder.ANY, (write(0),)))
+        pair = list(self._elements("c(w0,r0,r0,w1) c(w1,r1,r1,w0)"))
+        newly, _ = oracle.probe(pair)
+        assert newly == len(faults)  # the full ABL1 tail covers FL2
+
+    def test_append_returns_newly_covered(self):
+        faults = lf1_faults()
+        oracle = IncrementalCoverage(faults)
+        oracle.append(MarchElement(AddressOrder.ANY, (write(0),)))
+        first = oracle.append(self._elements("c(w0,r0,r0,w1)")[0])
+        second = oracle.append(self._elements("c(w1,r1,r1,w0)")[0])
+        assert first | second == set(range(len(faults)))
+        assert oracle.uncovered_count == 0
+        assert oracle.uncovered() == []
+
+    def test_witness_for_pending_fault(self):
+        faults = lf1_faults()
+        oracle = IncrementalCoverage(faults)
+        oracle.append(MarchElement(AddressOrder.ANY, (write(0),)))
+        name = faults[0].name
+        instance, resolution = oracle.witness(name)
+        assert name.split(":")[1] in instance.name
+
+    def test_witness_raises_for_covered_fault(self):
+        oracle = IncrementalCoverage([fp_by_name("SF0")])
+        oracle.append(MarchElement(AddressOrder.ANY, (write(0),)))
+        oracle.append(MarchElement(AddressOrder.ANY, (read(0),)))
+        with pytest.raises(KeyError):
+            oracle.witness("SF0")
+
+    def test_any_elements_fork_contexts(self):
+        # An undetecting ANY element must leave both direction futures
+        # pending (unless they converge to the same memory state).
+        fault = LinkedFault(
+            fp_by_name("CFds_0w1_v0"), fp_by_name("CFds_0w1_v1"),
+            Topology.LF2AA)
+        oracle = IncrementalCoverage([fault])
+        oracle.append(MarchElement(AddressOrder.ANY, (write(0),)))
+        pending_before = len(oracle._pending)
+        oracle.append(MarchElement(AddressOrder.ANY,
+                                   (read(0), write(1))))
+        # Dedup keeps the context count bounded by distinct states.
+        assert len(oracle._pending) <= 2 * pending_before
+
+
+class TestLayoutThreading:
+    def test_lf3_layout_changes_instance_count(self):
+        fault = LinkedFault(
+            fp_by_name("CFds_0w1_v0"), fp_by_name("CFds_0w1_v1"),
+            Topology.LF3)
+        straddle = CoverageOracle([fault], lf3_layout="straddle")
+        strict = CoverageOracle([fault], lf3_layout="all")
+        assert len(straddle.instances_of(fault)) == 2
+        assert len(strict.instances_of(fault)) == 6

@@ -1,0 +1,144 @@
+"""Tests for the two-operation dynamic fault extension."""
+
+import pytest
+
+from repro.faults.dynamic import (
+    ALL_DYNAMIC_FPS,
+    DYNAMIC_SENSITIZATIONS,
+    dynamic_faults,
+    dynamic_single_cell_faults,
+    dynamic_two_cell_faults,
+)
+from repro.faults.library import fp_by_name
+from repro.faults.primitives import FaultClass, parse_fp
+from repro.memory.injection import FaultInstance
+from repro.memory.sram import FaultyMemory
+
+
+class TestLibrary:
+    def test_counts(self):
+        assert len(DYNAMIC_SENSITIZATIONS) == 6
+        assert len(dynamic_single_cell_faults()) == 18
+        assert len(dynamic_two_cell_faults()) == 48
+        assert len(dynamic_faults()) == 66
+
+    def test_all_are_dynamic(self):
+        for fp in ALL_DYNAMIC_FPS:
+            assert fp.is_dynamic
+            assert not fp.is_static
+            assert len(fp.sensitizing_operations) == 2
+
+    def test_registered_in_global_lookup(self):
+        assert fp_by_name("dRDF_0w0r0").ffm is FaultClass.D_RDF
+        assert fp_by_name("dCFds_1r1r1_v0").ffm is FaultClass.D_CFDS
+
+    @pytest.mark.parametrize("name,notation", [
+        ("dRDF_0w0r0", "<0w0r0/1/1>"),
+        ("dDRDF_0w1r1", "<0w1r1/0/1>"),
+        ("dIRF_1r1r1", "<1r1r1/1/0>"),
+        ("dCFds_0w1r1_v0", "<0w1r1;0/1/->"),
+        ("dCFrd_a0_1w0r0", "<0;1w0r0/1/1>"),
+        ("dCFdr_a1_0r0r0", "<1;0r0r0/1/0>"),
+        ("dCFir_a0_0w0r0", "<0;0w0r0/0/1>"),
+    ])
+    def test_notation(self, name, notation):
+        assert fp_by_name(name).notation() == notation
+
+    @pytest.mark.parametrize("name", [
+        "dRDF_0w0r0", "dDRDF_1r1r1", "dIRF_0w1r1",
+        "dCFds_1w0r0_v1", "dCFrd_a1_0r0r0", "dCFdr_a0_1w1r1",
+    ])
+    def test_parse_round_trip(self, name):
+        fp = fp_by_name(name)
+        parsed = parse_fp(fp.notation(), name=name)
+        assert parsed.ffm is fp.ffm
+        assert parsed.effect == fp.effect
+        assert parsed.read_out == fp.read_out
+        assert parsed.op_pre.kind is fp.op_pre.kind
+        assert parsed.is_dynamic
+
+
+class TestOperationalSemantics:
+    def _memory(self, name, victim=0, aggressor=None, size=2):
+        return FaultyMemory(size, FaultInstance.from_simple(
+            fp_by_name(name), victim=victim, aggressor=aggressor))
+
+    def test_write_read_pair_triggers(self):
+        memory = self._memory("dRDF_0w0r0")
+        memory.write(0, 1)
+        memory.write(0, 0)   # pre-state 1: wrong pair opening
+        assert memory.read(0) == 0
+        memory.write(0, 0)   # pre-state 0: pair opens...
+        assert memory.read(0) == 1  # ...dRDF flips and lies
+
+    def test_pair_broken_by_other_cell(self):
+        memory = self._memory("dRDF_0w0r0")
+        memory.write(0, 0)
+        memory.write(0, 0)
+        memory.write(1, 1)   # intervening op on another cell
+        assert memory.read(0) == 0
+
+    def test_pair_broken_by_wait(self):
+        memory = self._memory("dRDF_0w0r0")
+        memory.write(0, 0)
+        memory.write(0, 0)
+        memory.wait()
+        assert memory.read(0) == 0
+
+    def test_double_read_pair(self):
+        memory = self._memory("dDRDF_1r1r1")
+        memory.write(0, 1)
+        assert memory.read(0) == 1   # plain first read
+        assert memory.read(0) == 1   # deceptive: flips, returns 1
+        memory.write(1, 0)           # break the chain
+        assert memory.read(0) == 0   # the damage is now visible
+
+    def test_deceptive_chain_retriggers(self):
+        # Consecutive reads keep re-opening the pair: the fault hides
+        # behind its own deception for as long as reads stay
+        # back-to-back.
+        memory = self._memory("dDRDF_0r0r0")
+        memory.write(0, 0)
+        assert memory.read(0) == 0
+        assert memory.read(0) == 0   # pair: flips to 1, returns 0
+        assert memory.read(0) == 0   # chained pair: returns 0 again
+        memory.write(1, 1)
+        assert memory.read(0) == 1   # chain broken: truth comes out
+
+    def test_dynamic_disturb_coupling(self):
+        memory = self._memory("dCFds_0w1r1_v0", victim=1, aggressor=0)
+        memory.write(1, 0)
+        memory.write(0, 0)
+        memory.write(0, 1)           # pair opens on the aggressor...
+        assert memory.read(0) == 1   # ...read closes it: victim flips
+        assert memory.read(1) == 1
+
+    def test_dynamic_victim_read_needs_aggressor_state(self):
+        memory = self._memory("dCFrd_a1_0r0r0", victim=1, aggressor=0)
+        memory.write(0, 0)           # aggressor at 0: condition unmet
+        memory.write(1, 0)
+        assert memory.read(1) == 0
+        assert memory.read(1) == 0   # no trigger
+        memory.write(0, 1)           # aggressor now 1
+        assert memory.read(1) == 0
+        assert memory.read(1) == 1   # dCFrd: flips and returns wrong
+
+    def test_static_faults_unaffected_by_pairing(self):
+        memory = self._memory("RDF0")
+        memory.write(0, 0)
+        assert memory.read(0) == 1   # static read fault still fires
+
+
+class TestDynamicGeneration:
+    def test_generator_covers_single_cell_dynamics(self):
+        from repro.core.generator import MarchGenerator
+        result = MarchGenerator(
+            dynamic_single_cell_faults(), name="dyn1").generate()
+        assert result.complete
+
+    def test_static_tests_miss_dynamic_faults(self):
+        from repro.march.known import MARCH_SL, MARCH_SS
+        from repro.sim.coverage import CoverageOracle
+        oracle = CoverageOracle(dynamic_faults())
+        assert oracle.evaluate(MARCH_SS.test).coverage < 0.8
+        assert oracle.evaluate(MARCH_SL.test).coverage < 0.8

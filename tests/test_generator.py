@@ -1,0 +1,123 @@
+"""Unit and small-integration tests for the march generator (Fig. 5)."""
+
+import pytest
+
+from repro.core.generator import (
+    ELEMENT_SHAPES,
+    MarchGenerator,
+    shape_operations,
+)
+from repro.faults.library import fp_by_name
+from repro.faults.linked import LinkedFault, Topology
+from repro.faults.lists import fault_list_2, lf1_faults
+from repro.march.element import AddressOrder
+from repro.sim.coverage import CoverageOracle
+
+
+class TestShapes:
+    def test_shape_instantiation_at_zero(self):
+        ops = shape_operations((("r", 0), ("w", 1)), entry_value=0)
+        assert [str(op) for op in ops] == ["r0", "w1"]
+
+    def test_shape_instantiation_at_one(self):
+        ops = shape_operations((("r", 0), ("w", 1)), entry_value=1)
+        assert [str(op) for op in ops] == ["r1", "w0"]
+
+    def test_shape_library_is_nonempty_and_unique(self):
+        assert len(ELEMENT_SHAPES) >= 15
+        assert len(set(ELEMENT_SHAPES)) == len(ELEMENT_SHAPES)
+
+
+class TestValidation:
+    def test_empty_fault_list_rejected(self):
+        with pytest.raises(ValueError):
+            MarchGenerator([])
+
+    def test_needs_a_proposal_source(self):
+        with pytest.raises(ValueError):
+            MarchGenerator(
+                lf1_faults(), use_walker=False, use_shapes=False)
+
+
+class TestSmallGenerations:
+    def test_single_simple_fault(self):
+        result = MarchGenerator(
+            [fp_by_name("WDF0")], name="tiny").generate()
+        assert result.complete
+        assert result.test.complexity <= 4
+        result.test.check_consistency()
+
+    def test_single_linked_fault(self):
+        fault = LinkedFault(
+            fp_by_name("DRDF0"), fp_by_name("DRDF1"), Topology.LF1)
+        result = MarchGenerator([fault], name="tiny-link").generate()
+        assert result.complete
+        oracle = CoverageOracle([fault])
+        assert oracle.evaluate(result.test).complete
+
+    def test_generated_test_is_verified_independently(self):
+        faults = lf1_faults()
+        result = MarchGenerator(faults, name="fl2").generate()
+        assert result.complete
+        # Re-check with a fresh batch oracle: no state leaks.
+        fresh = CoverageOracle(faults)
+        assert fresh.evaluate(result.test).complete
+
+    def test_fault_list_2_reaches_abl1_complexity(self):
+        """The headline FL#2 reproduction: 9n, matching March ABL1."""
+        result = MarchGenerator(fault_list_2(), name="gen-abl1").generate()
+        assert result.complete
+        assert result.test.complexity <= 11  # beats March LF1
+        # The paper's generated ABL1 is 9n; we match it.
+        assert result.test.complexity == 9
+
+    def test_trace_records_progress(self):
+        result = MarchGenerator(fault_list_2()).generate()
+        assert result.trace
+        assert result.trace[-1].uncovered_after == 0
+        assert all(s.newly_covered >= 0 for s in result.trace)
+
+    def test_prune_only_shrinks(self):
+        result = MarchGenerator(fault_list_2(), prune=True).generate()
+        assert result.test.complexity <= result.unpruned.complexity
+
+    def test_prune_can_be_disabled(self):
+        result = MarchGenerator(fault_list_2(), prune=False).generate()
+        assert result.prune is None
+        assert result.test == result.unpruned
+
+    def test_generation_seconds_are_recorded(self):
+        result = MarchGenerator(fault_list_2()).generate()
+        assert result.seconds > 0
+        assert result.generation_seconds > 0
+
+    def test_single_cell_lists_prefer_any_order(self):
+        result = MarchGenerator(fault_list_2()).generate()
+        # Like March ABL1, the single-cell test should be order-free.
+        assert all(
+            el.order is AddressOrder.ANY for el in result.test.elements)
+
+
+class TestProposalSourceAblation:
+    def test_shapes_only_still_completes_fl2(self):
+        result = MarchGenerator(
+            fault_list_2(), use_walker=False).generate()
+        assert result.complete
+
+    def test_walker_only_still_completes_fl2(self):
+        result = MarchGenerator(
+            fault_list_2(), use_shapes=False).generate()
+        assert result.complete
+
+
+class TestUndetectableReporting:
+    def test_contradictory_target_reported_not_looped(self):
+        # An IRF0 hidden behind an IRF-style construction is fine, but
+        # an artificial impossible target is simulated here by asking
+        # for detection of a fault whose only observable read is
+        # expectation-free -- approximate with a fault the op budget
+        # cannot reach: max_elements=1 leaves only the init element.
+        result = MarchGenerator(
+            fault_list_2(), max_elements=1).generate()
+        assert not result.complete
+        assert result.undetected

@@ -1,0 +1,89 @@
+"""Unit tests for fault binding (BoundPrimitive / FaultInstance)."""
+
+import pytest
+
+from repro.faults.library import fp_by_name
+from repro.faults.linked import LinkedFault, Topology
+from repro.faults.primitives import AGGRESSOR, VICTIM
+from repro.memory.injection import BoundPrimitive, FaultInstance
+
+
+class TestBoundPrimitive:
+    def test_single_cell_binds_no_aggressor(self):
+        bp = BoundPrimitive(fp_by_name("TFU"), None, 2)
+        assert bp.victim == 2
+        with pytest.raises(ValueError):
+            BoundPrimitive(fp_by_name("TFU"), 1, 2)
+
+    def test_two_cell_requires_distinct_aggressor(self):
+        fp = fp_by_name("CFds_0w1_v0")
+        with pytest.raises(ValueError):
+            BoundPrimitive(fp, None, 1)
+        with pytest.raises(ValueError):
+            BoundPrimitive(fp, 1, 1)
+
+    def test_role_of(self):
+        bp = BoundPrimitive(fp_by_name("CFds_0w1_v0"), 0, 2)
+        assert bp.role_of(0) == AGGRESSOR
+        assert bp.role_of(2) == VICTIM
+        assert bp.role_of(1) is None
+
+    def test_operation_cell_follows_role(self):
+        cfds = BoundPrimitive(fp_by_name("CFds_0w1_v0"), 0, 2)
+        assert cfds.operation_cell() == 0      # op on the aggressor
+        cftr = BoundPrimitive(fp_by_name("CFtr_a0_0w1"), 0, 2)
+        assert cftr.operation_cell() == 2      # op on the victim
+        sf = BoundPrimitive(fp_by_name("SF0"), None, 1)
+        assert sf.operation_cell() == 1
+
+
+class TestFaultInstance:
+    def test_from_simple(self):
+        instance = FaultInstance.from_simple(
+            fp_by_name("CFds_0w1_v0"), victim=2, aggressor=0)
+        assert instance.cells == (0, 2)
+        assert instance.max_cell() == 2
+        assert len(instance.primitives) == 1
+
+    def test_from_linked_lf1(self):
+        fault = LinkedFault(
+            fp_by_name("TFU"), fp_by_name("WDF0"), Topology.LF1)
+        instance = FaultInstance.from_linked(fault, (1,))
+        assert instance.cells == (1,)
+        assert all(bp.victim == 1 for bp in instance.primitives)
+
+    def test_from_linked_lf3_assigns_roles(self):
+        fault = LinkedFault(
+            fp_by_name("CFds_0w1_v0"), fp_by_name("CFds_0w1_v1"),
+            Topology.LF3)
+        instance = FaultInstance.from_linked(fault, (0, 2, 1))
+        first, second = instance.primitives
+        assert first.aggressor == 0 and first.victim == 1
+        assert second.aggressor == 2 and second.victim == 1
+
+    def test_from_linked_validates_arity(self):
+        fault = LinkedFault(
+            fp_by_name("TFU"), fp_by_name("WDF0"), Topology.LF1)
+        with pytest.raises(ValueError):
+            FaultInstance.from_linked(fault, (0, 1))
+
+    def test_from_linked_rejects_duplicate_cells(self):
+        fault = LinkedFault(
+            fp_by_name("CFds_0w1_v0"), fp_by_name("CFds_0w1_v1"),
+            Topology.LF3)
+        with pytest.raises(ValueError):
+            FaultInstance.from_linked(fault, (0, 0, 1))
+
+    def test_declaration_order_is_preserved(self):
+        fault = LinkedFault(
+            fp_by_name("DRDF1"), fp_by_name("RDF0"), Topology.LF1)
+        instance = FaultInstance.from_linked(fault, (0,))
+        assert instance.primitives[0].fp.name == "DRDF1"
+        assert instance.primitives[1].fp.name == "RDF0"
+
+    def test_names_describe_placement(self):
+        fault = LinkedFault(
+            fp_by_name("CFds_0w1_v0"), fp_by_name("WDF1"),
+            Topology.LF2AV)
+        instance = FaultInstance.from_linked(fault, (0, 2))
+        assert "a=0" in instance.name and "v=2" in instance.name

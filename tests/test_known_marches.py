@@ -1,0 +1,106 @@
+"""Unit tests for the published march-test registry."""
+
+import pytest
+
+from repro.march.known import (
+    ALL_KNOWN,
+    MARCH_43N,
+    MARCH_ABL,
+    MARCH_ABL1,
+    MARCH_C_MINUS,
+    MARCH_LA,
+    MARCH_LF1,
+    MARCH_LR,
+    MARCH_RABL,
+    MARCH_SL,
+    MARCH_SS,
+    MATS_PLUS,
+    known_march,
+    paper_baselines,
+    paper_generated,
+)
+
+
+class TestComplexities:
+    """Every known test's length matches its published `kn` figure."""
+
+    @pytest.mark.parametrize("known,complexity", [
+        (MARCH_ABL, 37),
+        (MARCH_RABL, 35),
+        (MARCH_ABL1, 9),
+        (MARCH_SL, 41),
+        (MARCH_LF1, 11),
+        (MARCH_43N, 43),
+        (MATS_PLUS, 5),
+        (MARCH_C_MINUS, 10),
+        (MARCH_SS, 22),
+        (MARCH_LA, 22),
+        (MARCH_LR, 14),
+    ])
+    def test_complexity(self, known, complexity):
+        assert known.complexity == complexity
+        assert known.test.complexity == complexity
+
+    def test_all_known_are_consistent(self):
+        for known in ALL_KNOWN.values():
+            known.test.check_consistency()
+
+    def test_registry_is_complete(self):
+        assert len(ALL_KNOWN) == 11
+
+
+class TestPaperTranscriptions:
+    """Element-level pins of the paper's Table 1 transcriptions."""
+
+    def test_march_abl_structure(self):
+        elements = MARCH_ABL.test.elements
+        assert len(elements) == 9
+        assert elements[0].notation(ascii_only=True) == "c(w0)"
+        assert elements[1].notation(ascii_only=True) == \
+            "U(r0,r0,w0,r0,w1,w1,r1)"
+        assert elements[8].notation(ascii_only=True) == "U(r1,w0)"
+
+    def test_march_rabl_structure(self):
+        elements = MARCH_RABL.test.elements
+        assert len(elements) == 7
+        assert elements[5].notation(ascii_only=True) == "U(w1)"
+        assert elements[6].notation(ascii_only=True) == \
+            "U(r1,r1,w1,r1,w0,r0,r0,w0,r0,w1,r1)"
+
+    def test_march_abl1_is_all_any_order(self):
+        from repro.march.element import AddressOrder
+        assert all(
+            el.order is AddressOrder.ANY for el in MARCH_ABL1.test.elements)
+        assert MARCH_ABL1.test.notation(ascii_only=True) == \
+            "c(w0); c(w0,r0,r0,w1); c(w1,r1,r1,w0)"
+
+    def test_march_sl_has_four_ten_op_elements(self):
+        lengths = [len(el) for el in MARCH_SL.test.elements]
+        assert lengths == [1, 10, 10, 10, 10]
+
+
+class TestProvenance:
+    def test_reconstructed_flags(self):
+        assert MARCH_LF1.reconstructed
+        assert MARCH_43N.reconstructed
+        assert not MARCH_ABL.reconstructed
+        assert not MARCH_SL.reconstructed
+
+    def test_sources_are_recorded(self):
+        for known in ALL_KNOWN.values():
+            assert known.source
+
+    def test_paper_groupings(self):
+        assert [k.name for k in paper_generated()] == [
+            "March ABL", "March RABL", "March ABL1"]
+        assert [k.complexity for k in paper_baselines()] == [43, 41, 11]
+
+
+class TestLookup:
+    def test_known_march(self):
+        assert known_march("March SL") is MARCH_SL
+
+    def test_unknown_name_lists_options(self):
+        with pytest.raises(KeyError) as err:
+            known_march("March Nope")
+        assert "March SL" in str(err.value)

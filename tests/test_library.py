@@ -1,0 +1,103 @@
+"""Unit tests for the canonical fault-primitive libraries."""
+
+import pytest
+
+from repro.faults.library import (
+    ALL_FPS,
+    CFDS_SENSITIZATIONS,
+    DATA_RETENTION_FPS,
+    SINGLE_CELL_FPS,
+    TWO_CELL_FPS,
+    ffm_members,
+    fp_by_name,
+    fps_by_names,
+)
+from repro.faults.primitives import AGGRESSOR, FaultClass, VICTIM
+from repro.faults.values import flip
+
+
+class TestCounts:
+    def test_single_cell_space_is_complete(self):
+        # 12 canonical single-cell static FPs.
+        assert len(SINGLE_CELL_FPS) == 12
+
+    def test_two_cell_space_is_complete(self):
+        # 36 canonical two-cell static FPs.
+        assert len(TWO_CELL_FPS) == 36
+
+    def test_family_sizes(self):
+        expected = {
+            FaultClass.SF: 2, FaultClass.TF: 2, FaultClass.WDF: 2,
+            FaultClass.RDF: 2, FaultClass.DRDF: 2, FaultClass.IRF: 2,
+            FaultClass.DRF: 2,
+            FaultClass.CFST: 4, FaultClass.CFDS: 12, FaultClass.CFTR: 4,
+            FaultClass.CFWD: 4, FaultClass.CFRD: 4, FaultClass.CFDR: 4,
+            FaultClass.CFIR: 4,
+        }
+        for ffm, count in expected.items():
+            assert len(ffm_members(ffm)) == count, ffm
+
+    def test_names_are_unique(self):
+        names = [fp.name for fp in ALL_FPS]
+        assert len(names) == len(set(names))
+
+    def test_cfds_covers_all_six_sensitizations(self):
+        assert len(CFDS_SENSITIZATIONS) == 6
+        tags = {tag for _, _, tag in CFDS_SENSITIZATIONS}
+        assert tags == {"0w0", "0w1", "1w0", "1w1", "0r0", "1r1"}
+
+
+class TestSemantics:
+    def test_every_fp_self_validates(self):
+        # Construction already validates; re-check key invariants.
+        for fp in ALL_FPS:
+            assert fp.effect in (0, 1)
+            assert fp.cells in (1, 2)
+
+    def test_single_cell_fps_have_no_aggressor(self):
+        for fp in SINGLE_CELL_FPS:
+            assert fp.aggressor_state is None
+
+    def test_two_cell_fps_have_binary_aggressor_state(self):
+        for fp in TWO_CELL_FPS:
+            assert fp.aggressor_state in (0, 1)
+
+    def test_disturb_faults_operate_on_aggressor(self):
+        for fp in ffm_members(FaultClass.CFDS):
+            assert fp.op_role == AGGRESSOR
+            assert fp.effect == flip(fp.victim_state)
+
+    def test_victim_operated_coupling_faults(self):
+        for ffm in (FaultClass.CFTR, FaultClass.CFWD, FaultClass.CFRD,
+                    FaultClass.CFDR, FaultClass.CFIR):
+            for fp in ffm_members(ffm):
+                assert fp.op_role == VICTIM
+
+    def test_read_faults_read_out_values(self):
+        # RDF returns the new (flipped) value, DRDF the old one, IRF the
+        # wrong value without flipping.
+        for s in (0, 1):
+            assert fp_by_name(f"RDF{s}").read_out == flip(s)
+            assert fp_by_name(f"DRDF{s}").read_out == s
+            assert fp_by_name(f"IRF{s}").read_out == flip(s)
+            assert fp_by_name(f"IRF{s}").effect == s
+
+    def test_data_retention_faults_are_wait_sensitized(self):
+        assert len(DATA_RETENTION_FPS) == 2
+        for fp in DATA_RETENTION_FPS:
+            assert fp.op.is_wait
+            assert fp.effect == flip(fp.victim_state)
+
+
+class TestLookup:
+    def test_fp_by_name(self):
+        assert fp_by_name("TFU").ffm is FaultClass.TF
+
+    def test_fp_by_name_suggests_candidates(self):
+        with pytest.raises(KeyError) as err:
+            fp_by_name("CFds_0w1_v9")
+        assert "close matches" in str(err.value)
+
+    def test_fps_by_names_preserves_order(self):
+        fps = fps_by_names(["WDF1", "TFU"])
+        assert [fp.name for fp in fps] == ["WDF1", "TFU"]

@@ -1,0 +1,145 @@
+"""Unit tests for linked-fault modelling (paper Definitions 6-7)."""
+
+import pytest
+
+from repro.faults.library import fp_by_name
+from repro.faults.linked import (
+    LinkedFault,
+    Topology,
+    are_linked,
+    is_self_detecting,
+    masks_silently,
+)
+
+
+class TestLinkingPredicate:
+    def test_paper_equation_6_pair_is_linked(self):
+        # <0w1; 0/1/-> -> <0w1; 1/0/->: the Disturb Coupling example.
+        fp1 = fp_by_name("CFds_0w1_v0")
+        fp2 = fp_by_name("CFds_0w1_v1")
+        assert are_linked(fp1, fp2)
+
+    def test_masking_requires_opposite_effects(self):
+        fp1 = fp_by_name("CFds_0w1_v0")   # F1 = 1
+        same_effect = fp_by_name("CFds_1w0_v0")  # also flips 0 -> 1
+        assert not are_linked(fp1, same_effect)
+
+    def test_fp2_initial_state_must_chain(self):
+        # I2 = Fv1: FP2 must be sensitized in the state FP1 produced.
+        fp1 = fp_by_name("TFU")           # leaves the cell at 0
+        wrong_state = fp_by_name("WDF1")  # needs the cell at 1
+        assert not are_linked(fp1, wrong_state)
+        right_state = fp_by_name("WDF0")  # needs the cell at 0, flips
+        assert are_linked(fp1, right_state)
+
+    def test_non_flipping_fp1_cannot_be_masked(self):
+        irf = fp_by_name("IRF0")          # reads wrong, no state change
+        assert not are_linked(irf, fp_by_name("WDF0"))
+
+
+class TestSelfDetection:
+    @pytest.mark.parametrize("name", ["RDF0", "RDF1", "IRF0", "IRF1",
+                                      "CFrd_a0_v0", "CFir_a1_v1"])
+    def test_wrong_value_reads_self_detect(self, name):
+        assert is_self_detecting(fp_by_name(name))
+
+    @pytest.mark.parametrize("name", ["TFU", "WDF0", "DRDF1", "SF0",
+                                      "CFds_0w1_v0", "CFdr_a0_v0",
+                                      "CFtr_a0_0w1", "CFwd_a1_v1"])
+    def test_others_escape_their_own_sensitization(self, name):
+        assert not is_self_detecting(fp_by_name(name))
+
+
+class TestSilentMasking:
+    def test_destructive_read_masker_is_silent(self):
+        # RDF returns the restored value: perfectly silent masking.
+        assert masks_silently(fp_by_name("TFU"), fp_by_name("RDF0"))
+
+    def test_deceptive_read_masker_reveals_itself(self):
+        # DRDF returns the old (faulty) value at the masking read.
+        assert not masks_silently(fp_by_name("TFU"), fp_by_name("DRDF0"))
+
+    def test_write_maskers_are_silent(self):
+        assert masks_silently(fp_by_name("TFU"), fp_by_name("WDF0"))
+
+    def test_aggressor_op_maskers_are_silent(self):
+        assert masks_silently(
+            fp_by_name("CFds_0w1_v0"), fp_by_name("CFds_0w1_v1"))
+
+    def test_state_fault_maskers_are_silent(self):
+        assert masks_silently(fp_by_name("TFU"), fp_by_name("SF0"))
+
+
+class TestTopology:
+    def test_cell_counts(self):
+        assert Topology.LF1.cells == 1
+        assert Topology.LF2AA.cells == 2
+        assert Topology.LF2AV.cells == 2
+        assert Topology.LF2VA.cells == 2
+        assert Topology.LF3.cells == 3
+
+    def test_topology_validates_fp_shapes(self):
+        fp1 = fp_by_name("TFU")
+        fp2 = fp_by_name("WDF0")
+        with pytest.raises(ValueError):
+            LinkedFault(fp1, fp2, Topology.LF2AA)  # needs two-cell FPs
+
+    def test_linked_fault_rejects_unlinked_pairs(self):
+        with pytest.raises(ValueError):
+            LinkedFault(
+                fp_by_name("TFU"), fp_by_name("WDF1"), Topology.LF1)
+
+
+class TestRoleMapping:
+    def test_lf1_roles(self):
+        lf = LinkedFault(
+            fp_by_name("TFU"), fp_by_name("WDF0"), Topology.LF1)
+        assert lf.cells == 1
+        assert lf.role_labels == ("v",)
+        assert lf.fp_roles(1) == (None, 0)
+        assert lf.fp_roles(2) == (None, 0)
+
+    def test_lf2aa_roles(self):
+        lf = LinkedFault(
+            fp_by_name("CFds_0w1_v0"), fp_by_name("CFds_0w1_v1"),
+            Topology.LF2AA)
+        assert lf.role_labels == ("a", "v")
+        assert lf.fp_roles(1) == (0, 1)
+        assert lf.fp_roles(2) == (0, 1)
+
+    def test_lf2av_roles(self):
+        lf = LinkedFault(
+            fp_by_name("CFds_0w1_v0"), fp_by_name("WDF1"),
+            Topology.LF2AV)
+        assert lf.fp_roles(1) == (0, 1)
+        assert lf.fp_roles(2) == (None, 1)
+
+    def test_lf2va_roles(self):
+        lf = LinkedFault(
+            fp_by_name("TFU"), fp_by_name("CFds_0w1_v0"),
+            Topology.LF2VA)
+        assert lf.fp_roles(1) == (None, 1)
+        assert lf.fp_roles(2) == (0, 1)
+
+    def test_lf3_roles_use_distinct_aggressors(self):
+        lf = LinkedFault(
+            fp_by_name("CFds_0w1_v0"), fp_by_name("CFds_0w1_v1"),
+            Topology.LF3)
+        assert lf.role_labels == ("a1", "a2", "v")
+        assert lf.fp_roles(1) == (0, 2)
+        assert lf.fp_roles(2) == (1, 2)
+
+    def test_fp_roles_rejects_bad_index(self):
+        lf = LinkedFault(
+            fp_by_name("TFU"), fp_by_name("WDF0"), Topology.LF1)
+        with pytest.raises(ValueError):
+            lf.fp_roles(3)
+
+
+class TestNaming:
+    def test_name_and_notation(self):
+        lf = LinkedFault(
+            fp_by_name("TFU"), fp_by_name("RDF0"), Topology.LF1)
+        assert lf.name == "LF1:TFU->RDF0"
+        assert lf.notation() == "<0w1/0/-> -> <0r0/1/1>"
+        assert str(lf) == lf.name

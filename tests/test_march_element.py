@@ -1,0 +1,140 @@
+"""Unit tests for march elements and address orders (Definition 10)."""
+
+import pytest
+
+from repro.faults.operations import read, wait, write
+from repro.march.element import (
+    AddressOrder,
+    MarchElement,
+    element,
+    parse_address_order,
+    parse_element,
+)
+
+
+class TestAddressOrder:
+    def test_symbols(self):
+        assert AddressOrder.UP.symbol == "⇑"
+        assert AddressOrder.DOWN.symbol == "⇓"
+        assert AddressOrder.ANY.symbol == "⇕"
+
+    def test_ascii(self):
+        assert AddressOrder.UP.ascii == "U"
+        assert AddressOrder.DOWN.ascii == "D"
+        assert AddressOrder.ANY.ascii == "c"  # Table 1 notation
+
+    def test_addresses_up(self):
+        assert list(AddressOrder.UP.addresses(4)) == [0, 1, 2, 3]
+
+    def test_addresses_down(self):
+        assert list(AddressOrder.DOWN.addresses(4)) == [3, 2, 1, 0]
+
+    def test_addresses_any_resolutions(self):
+        assert list(AddressOrder.ANY.addresses(3)) == [0, 1, 2]
+        assert list(AddressOrder.ANY.addresses(3, descending=True)) == \
+            [2, 1, 0]
+
+    def test_fixed_orders_ignore_descending_flag(self):
+        assert list(AddressOrder.UP.addresses(3, descending=True)) == \
+            [0, 1, 2]
+
+    @pytest.mark.parametrize("text,order", [
+        ("⇑", AddressOrder.UP), ("U", AddressOrder.UP),
+        ("up", AddressOrder.UP), ("⇓", AddressOrder.DOWN),
+        ("d", AddressOrder.DOWN), ("⇕", AddressOrder.ANY),
+        ("c", AddressOrder.ANY), ("ANY", AddressOrder.ANY),
+    ])
+    def test_parse(self, text, order):
+        assert parse_address_order(text) is order
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_address_order("sideways")
+
+
+class TestMarchElement:
+    def test_needs_operations(self):
+        with pytest.raises(ValueError):
+            MarchElement(AddressOrder.UP, ())
+
+    def test_operations_are_unaddressed(self):
+        el = MarchElement(AddressOrder.UP, (write(1, 3), read(0, 2)))
+        assert all(op.cell is None for op in el.operations)
+
+    def test_len_counts_operations(self):
+        el = element(AddressOrder.UP, [read(0), write(1), read(1)])
+        assert len(el) == 3
+
+    def test_reads_and_writes(self):
+        el = element(AddressOrder.UP, [read(0), write(1), read(1)])
+        assert [op.value for op in el.reads] == [0, 1]
+        assert [op.value for op in el.writes] == [1]
+
+    def test_final_write(self):
+        assert element(AddressOrder.UP, [read(0), write(1)]).final_write == 1
+        assert element(AddressOrder.UP, [write(1), write(0)]).final_write == 0
+        assert element(AddressOrder.UP, [read(0)]).final_write is None
+
+    def test_entry_value_required(self):
+        assert element(
+            AddressOrder.UP, [read(0), write(1)]).entry_value_required() == 0
+        assert element(
+            AddressOrder.UP, [write(1), read(1)]).entry_value_required() is None
+        assert element(
+            AddressOrder.UP, [read(None), read(1)]).entry_value_required() == 1
+
+    def test_with_order(self):
+        el = element(AddressOrder.UP, [read(0)])
+        assert el.with_order(AddressOrder.DOWN).order is AddressOrder.DOWN
+        assert el.with_order(AddressOrder.DOWN).operations == el.operations
+
+    def test_without_operation(self):
+        el = element(AddressOrder.UP, [read(0), write(1), read(1)])
+        assert len(el.without_operation(1)) == 2
+        assert [str(o) for o in el.without_operation(1).operations] == \
+            ["r0", "r1"]
+
+    def test_without_operation_refuses_to_empty(self):
+        with pytest.raises(ValueError):
+            element(AddressOrder.UP, [read(0)]).without_operation(0)
+
+    def test_concat(self):
+        left = element(AddressOrder.UP, [read(0)])
+        right = element(AddressOrder.UP, [write(1)])
+        merged = left.concat(right)
+        assert len(merged) == 2
+        assert merged.order is AddressOrder.UP
+
+
+class TestNotation:
+    def test_unicode_notation(self):
+        el = element(AddressOrder.UP, [read(0), write(1)])
+        assert el.notation() == "⇑(r0,w1)"
+
+    def test_ascii_notation(self):
+        el = element(AddressOrder.ANY, [write(0)])
+        assert el.notation(ascii_only=True) == "c(w0)"
+
+    @pytest.mark.parametrize("text", [
+        "⇑(r0,w1)", "⇓(r1,w0)", "⇕(w0)", "U(r0,r0,w0,r0,w1,w1,r1)",
+        "c(w0,r0,r0,w1)", "D(r1)",
+    ])
+    def test_parse_round_trip(self, text):
+        el = parse_element(text)
+        reparsed = parse_element(el.notation())
+        assert reparsed == el
+
+    def test_parse_accepts_spacing(self):
+        assert parse_element("c (w0)") == element(
+            AddressOrder.ANY, [write(0)])
+        assert parse_element("⇑( r0 , w1 )") == element(
+            AddressOrder.UP, [read(0), write(1)])
+
+    def test_parse_accepts_wait(self):
+        el = parse_element("c(w0,t,r0)")
+        assert el.operations[1].is_wait
+
+    @pytest.mark.parametrize("bad", ["(r0)", "⇑r0", "⇑()", "⇑(q9)"])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_element(bad)

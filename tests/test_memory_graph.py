@@ -1,0 +1,74 @@
+"""Unit tests for the G0 memory graph (Figure 2)."""
+
+import pytest
+
+from repro.faults.operations import read, write
+from repro.memory.graph import build_memory_graph
+
+
+class TestFigure2Structure:
+    """The 2-cell graph must match Figure 2 exactly."""
+
+    def setup_method(self):
+        self.g0 = build_memory_graph(2)
+
+    def test_vertex_count(self):
+        assert self.g0.vertex_count() == 4
+        assert len(self.g0.vertices) == 4
+
+    def test_edge_count(self):
+        # (3n + 1) * 2^n = 7 * 4 = 28 labelled edges for n=2.
+        assert self.g0.edge_count() == 28
+
+    def test_every_state_has_full_out_degree(self):
+        for state in self.g0.vertices:
+            assert len(self.g0.out_edges(state)) == 7
+
+    def test_write_edges_move_between_states(self):
+        edge = self.g0.edge_for((0, 0), write(1, 0))
+        assert edge.dst == (1, 0)
+        assert edge.label == "w[0]1/-"
+
+    def test_read_edges_are_self_loops_with_output(self):
+        edge = self.g0.edge_for((1, 0), read(None, 0))
+        assert edge.dst == (1, 0)
+        assert edge.label == "r[0]/1"
+
+    def test_figure_2_specific_transitions(self):
+        # Spot-check transitions visible in the published figure.
+        assert self.g0.edge_for((0, 0), write(1, 1)).dst == (0, 1)
+        assert self.g0.edge_for((0, 1), write(0, 1)).dst == (0, 0)
+        assert self.g0.edge_for((1, 1), write(0, 0)).dst == (0, 1)
+
+    def test_determinism(self):
+        for state in self.g0.vertices:
+            labels = [str(e.op) for e in self.g0.out_edges(state)]
+            assert len(labels) == len(set(labels))
+
+    def test_edge_for_unknown_op(self):
+        with pytest.raises(KeyError):
+            self.g0.edge_for((0, 0), write(1, 5))
+
+
+class TestDotExport:
+    def test_dot_contains_all_states(self):
+        dot = build_memory_graph(2).to_dot()
+        for word in ("00", "01", "10", "11"):
+            assert f'"{word}"' in dot
+
+    def test_dot_is_a_digraph(self):
+        dot = build_memory_graph(2).to_dot(name="G0")
+        assert dot.startswith("digraph G0 {")
+        assert dot.endswith("}")
+
+    def test_dot_groups_self_loop_labels(self):
+        # Figure 2 writes self-loop labels ';'-separated.
+        dot = build_memory_graph(1).to_dot()
+        assert " ; " in dot
+
+
+class TestScaling:
+    @pytest.mark.parametrize("cells", [1, 2, 3])
+    def test_edge_count_formula(self, cells):
+        graph = build_memory_graph(cells)
+        assert graph.edge_count() == (3 * cells + 1) * 2 ** cells

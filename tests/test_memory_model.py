@@ -1,0 +1,83 @@
+"""Unit tests for the Mealy automaton memory model (Section 4)."""
+
+import pytest
+
+from repro.faults.operations import read, wait, write
+from repro.faults.values import DONT_CARE
+from repro.memory.model import MealyMemory
+
+
+class TestAlphabets:
+    def test_state_count_is_2_to_n(self):
+        assert len(MealyMemory(1).states()) == 2
+        assert len(MealyMemory(2).states()) == 4
+        assert len(MealyMemory(3).states()) == 8
+
+    def test_states_are_lexicographic(self):
+        assert MealyMemory(2).states() == [
+            (0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_operation_alphabet(self):
+        # Per cell: w0, w1, r; plus the global wait (Definition 2).
+        ops = MealyMemory(2).operations()
+        assert len(ops) == 7
+        assert sum(1 for op in ops if op.is_wait) == 1
+
+    def test_size_bounds(self):
+        with pytest.raises(ValueError):
+            MealyMemory(0)
+        with pytest.raises(ValueError):
+            MealyMemory(13)
+
+
+class TestDelta:
+    def test_write_updates_the_addressed_cell(self):
+        m = MealyMemory(2)
+        assert m.delta((0, 0), write(1, 0)) == (1, 0)
+        assert m.delta((0, 0), write(1, 1)) == (0, 1)
+
+    def test_read_and_wait_preserve_state(self):
+        m = MealyMemory(2)
+        assert m.delta((1, 0), read(None, 0)) == (1, 0)
+        assert m.delta((1, 0), wait()) == (1, 0)
+
+    def test_unaddressed_operation_rejected(self):
+        with pytest.raises(ValueError):
+            MealyMemory(2).delta((0, 0), write(1))
+
+    def test_out_of_range_address_rejected(self):
+        with pytest.raises(ValueError):
+            MealyMemory(2).delta((0, 0), write(1, 5))
+
+    def test_partial_state_rejected(self):
+        with pytest.raises(ValueError):
+            MealyMemory(2).delta((0,), write(1, 0))
+        with pytest.raises(ValueError):
+            MealyMemory(2).delta((0, DONT_CARE), write(1, 0))
+
+
+class TestLambda:
+    def test_read_outputs_cell_value(self):
+        m = MealyMemory(2)
+        assert m.output((1, 0), read(None, 0)) == 1
+        assert m.output((1, 0), read(None, 1)) == 0
+
+    def test_writes_and_waits_output_dont_care(self):
+        # The paper's edge labels: "w1i / -", "t / -".
+        m = MealyMemory(2)
+        assert m.output((0, 0), write(1, 0)) == DONT_CARE
+        assert m.output((0, 0), wait()) == DONT_CARE
+
+
+class TestRun:
+    def test_run_collects_outputs(self):
+        m = MealyMemory(2)
+        state, outputs = m.run((0, 0), [
+            write(1, 0), read(None, 0), read(None, 1)])
+        assert state == (1, 0)
+        assert outputs == [DONT_CARE, 1, 0]
+
+    def test_uniform_state(self):
+        assert MealyMemory(3).uniform_state(1) == (1, 1, 1)
+        with pytest.raises(ValueError):
+            MealyMemory(3).uniform_state(DONT_CARE)

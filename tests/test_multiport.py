@@ -1,0 +1,155 @@
+"""Tests for the dual-port memory substrate and weak inter-port faults."""
+
+import pytest
+
+from repro.faults.operations import read, write
+from repro.march.element import AddressOrder
+from repro.memory.multiport import (
+    BoundWeakFault,
+    DualPortElement,
+    DualPortMarchTest,
+    DualPortMemory,
+    DualPortStep,
+    WEAK_FAULTS,
+    dual_port_coverage,
+    march_d2pf,
+    run_dual_port,
+    weak_fault_by_name,
+    weak_fault_instances,
+    weak_faults,
+)
+
+
+class TestWeakFaultLibrary:
+    def test_counts(self):
+        assert len(WEAK_FAULTS) == 10
+        names = {fp.name for fp in WEAK_FAULTS}
+        assert {"wRDF0", "wDRDF1", "wIRF0", "wCFds_a1_v0"} <= names
+
+    def test_lookup(self):
+        assert weak_fault_by_name("wRDF0").effect == 1
+        with pytest.raises(KeyError):
+            weak_fault_by_name("wNOPE")
+
+    def test_notation(self):
+        assert weak_fault_by_name("wRDF0").notation() == "<0rA0:rB0/1/1>"
+        assert weak_fault_by_name("wCFds_a1_v0").notation() == \
+            "<1rA1:rB1;0/1/->"
+
+    def test_binding_validation(self):
+        with pytest.raises(ValueError):
+            BoundWeakFault(weak_fault_by_name("wRDF0"), 0, 1)
+        with pytest.raises(ValueError):
+            BoundWeakFault(weak_fault_by_name("wCFds_a0_v0"), 1, 1)
+
+
+class TestDualPortMemory:
+    def test_single_port_behaviour_is_ideal(self):
+        memory = DualPortMemory(2, BoundWeakFault(
+            weak_fault_by_name("wRDF0"), 0, 0))
+        memory.write(0, 0)
+        # A thousand single-port reads never trip a weak fault.
+        for _ in range(10):
+            assert memory.read(0) == 0
+
+    def test_simultaneous_read_triggers_wrdf(self):
+        memory = DualPortMemory(2, BoundWeakFault(
+            weak_fault_by_name("wRDF0"), 0, 0))
+        memory.write(0, 0)
+        out_a, out_b = memory.simultaneous_read(0, 0)
+        assert out_a == out_b == 1          # both ports see the flip
+        assert memory.read(0) == 1
+
+    def test_simultaneous_read_deceptive(self):
+        memory = DualPortMemory(2, BoundWeakFault(
+            weak_fault_by_name("wDRDF1"), 0, 0))
+        memory.write(0, 1)
+        out_a, out_b = memory.simultaneous_read(0, 0)
+        assert out_a == out_b == 1          # polite answers...
+        assert memory.read(0) == 0          # ...but the cell flipped
+
+    def test_simultaneous_read_distinct_cells_is_plain(self):
+        memory = DualPortMemory(2, BoundWeakFault(
+            weak_fault_by_name("wRDF0"), 0, 0))
+        memory.write(0, 0)
+        memory.write(1, 1)
+        assert memory.simultaneous_read(0, 1) == (0, 1)
+        assert memory.read(0) == 0          # not sensitized
+
+    def test_wcfds_disturbs_the_victim(self):
+        memory = DualPortMemory(3, BoundWeakFault(
+            weak_fault_by_name("wCFds_a1_v0"), 0, 2))
+        memory.write(0, 1)
+        memory.write(2, 0)
+        out_a, out_b = memory.simultaneous_read(0, 0)
+        assert out_a == out_b == 1          # aggressor reads are true
+        assert memory.read(2) == 1          # the victim flipped
+
+    def test_same_cell_write_conflict_rejected(self):
+        memory = DualPortMemory(2)
+        with pytest.raises(ValueError):
+            memory.simultaneous(write(1, 0), read(None, 0))
+
+    def test_simultaneous_distinct_ops(self):
+        memory = DualPortMemory(2)
+        memory.write(1, 1)
+        result = memory.simultaneous(write(0, 0), read(None, 1))
+        assert result == (None, 1)
+        assert memory.read(0) == 0
+
+
+class TestDualPortMarch:
+    def test_step_validation(self):
+        with pytest.raises(ValueError):
+            DualPortStep(write(0), read(0))  # write in a pair
+
+    def test_notation(self):
+        element = DualPortElement(
+            AddressOrder.UP,
+            (DualPortStep(read(0), read(0)), DualPortStep(write(1)),))
+        assert element.notation() == "⇑(r0&r0,w1&-)"
+
+    def test_march_d2pf_shape(self):
+        test = march_d2pf()
+        assert test.complexity == 18
+        assert "r0&r0" in test.notation()
+        assert "r1&r1" in test.notation()
+
+    def test_fault_free_memory_passes(self):
+        assert run_dual_port(march_d2pf(), DualPortMemory(4)) is None
+
+    def test_march_d2pf_covers_all_weak_faults(self):
+        detected, escaped = dual_port_coverage(
+            march_d2pf(), weak_faults())
+        assert not escaped
+        assert len(detected) == 10
+
+    def test_single_port_march_misses_every_weak_fault(self):
+        """The motivating observation of two-port testing: no
+        single-port march sensitizes weak faults at all."""
+        single = DualPortMarchTest(
+            "March SS (single port)",
+            (
+                DualPortElement(AddressOrder.ANY,
+                                (DualPortStep(write(0)),)),
+                DualPortElement(AddressOrder.UP, tuple(
+                    DualPortStep(op) for op in (
+                        read(0), read(0), write(0), read(0), write(1)))),
+                DualPortElement(AddressOrder.UP, tuple(
+                    DualPortStep(op) for op in (
+                        read(1), read(1), write(1), read(1), write(0)))),
+                DualPortElement(AddressOrder.ANY,
+                                (DualPortStep(read(0)),)),
+            ),
+        )
+        detected, escaped = dual_port_coverage(single, weak_faults())
+        assert not detected
+        assert len(escaped) == 10
+
+    def test_placement_enumeration(self):
+        single_cell = weak_fault_instances(
+            weak_fault_by_name("wRDF0"), 3)
+        assert len(single_cell) == 2
+        two_cell = weak_fault_instances(
+            weak_fault_by_name("wCFds_a0_v0"), 3)
+        assert len(two_cell) == 4

@@ -1,0 +1,100 @@
+"""Unit tests for memory operations (paper Definition 2)."""
+
+import pytest
+
+from repro.faults.operations import (
+    OpKind,
+    Operation,
+    parse_operation,
+    read,
+    wait,
+    write,
+)
+
+
+class TestConstruction:
+    def test_write_requires_binary_value(self):
+        assert write(0).value == 0
+        assert write(1).value == 1
+        with pytest.raises(ValueError):
+            Operation(OpKind.WRITE, None)
+        with pytest.raises(ValueError):
+            Operation(OpKind.WRITE, 2)
+
+    def test_read_expectation_is_optional(self):
+        assert read().value is None
+        assert read(0).value == 0
+        assert read(1).value == 1
+        with pytest.raises(ValueError):
+            Operation(OpKind.READ, 2)
+
+    def test_wait_carries_nothing(self):
+        t = wait()
+        assert t.is_wait and t.value is None and t.cell is None
+        with pytest.raises(ValueError):
+            Operation(OpKind.WAIT, 0)
+        with pytest.raises(ValueError):
+            Operation(OpKind.WAIT, None, 3)
+
+
+class TestPredicates:
+    def test_kind_predicates_are_exclusive(self):
+        for op in (write(0), read(1), wait()):
+            assert sum([op.is_read, op.is_write, op.is_wait]) == 1
+
+    def test_addressing(self):
+        op = write(1)
+        assert not op.is_addressed
+        addressed = op.at(3)
+        assert addressed.is_addressed and addressed.cell == 3
+        assert addressed.unaddressed() == op
+
+    def test_wait_ignores_addressing(self):
+        assert wait().at(5) == wait()
+
+    def test_with_expectation(self):
+        assert read().with_expectation(1) == read(1)
+        assert read(1).with_expectation(None) == read()
+        with pytest.raises(ValueError):
+            write(0).with_expectation(1)
+
+
+class TestNotation:
+    @pytest.mark.parametrize("op,text", [
+        (write(0), "w0"),
+        (write(1), "w1"),
+        (read(), "r"),
+        (read(0), "r0"),
+        (read(1), "r1"),
+        (wait(), "t"),
+        (write(1, 2), "w[2]1"),
+        (read(0, 0), "r[0]0"),
+        (read(None, 7), "r[7]"),
+    ])
+    def test_str(self, op, text):
+        assert str(op) == text
+
+    @pytest.mark.parametrize("text", [
+        "w0", "w1", "r", "r0", "r1", "t", "w[2]1", "r[0]0", "r[7]",
+    ])
+    def test_parse_round_trip(self, text):
+        assert str(parse_operation(text)) == text
+
+    @pytest.mark.parametrize("bad", ["", "w", "w2", "r2", "x0", "w[1",
+                                     "q", "ww1"])
+    def test_parse_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            parse_operation(bad)
+
+    def test_parse_strips_whitespace(self):
+        assert parse_operation("  r1 ") == read(1)
+
+
+class TestHashing:
+    def test_operations_are_hashable(self):
+        ops = {write(0), write(0), read(1)}
+        assert len(ops) == 2
+
+    def test_equality_includes_address(self):
+        assert write(1) != write(1, 0)
+        assert write(1, 0) == write(1, 0)

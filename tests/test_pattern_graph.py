@@ -1,0 +1,109 @@
+"""Unit tests for the pattern graph (Section 4, Figures 3-4)."""
+
+import pytest
+
+from repro.analysis.dot import figure4_linked_fault, pgcf_example_graph
+from repro.core.pattern_graph import PatternGraph
+from repro.faults.library import fp_by_name
+from repro.faults.linked import LinkedFault, Topology
+from repro.memory.injection import FaultInstance
+
+
+class TestFigure4:
+    """PG_CF: the pattern graph of the linked CF of eq. (12)-(14)."""
+
+    def setup_method(self):
+        self.graph, self.instance = pgcf_example_graph()
+
+    def test_vertex_count(self):
+        assert self.graph.vertex_count() == 4
+
+    def test_two_faulty_edges(self):
+        assert len(self.graph.faulty_edges) == 2
+
+    def test_edges_match_equation_14(self):
+        # TP1 = (00, w[0]1, r[1]0): edge 00 -> 11 (the faulty state).
+        # TP2 = (11, w[0]0, r[1]1): edge 11 -> 00.
+        by_src = {edge.src: edge for edge in self.graph.faulty_edges}
+        first = by_src[(0, 0)]
+        assert first.dst == (1, 1)
+        assert first.label == "w[0]1,r[1]0"
+        second = by_src[(1, 1)]
+        assert second.dst == (0, 0)
+        assert second.label == "w[0]0,r[1]1"
+
+    def test_components_are_tagged(self):
+        components = sorted(e.component for e in self.graph.faulty_edges)
+        assert components == [1, 2]
+
+    def test_faulty_out_lookup(self):
+        assert len(self.graph.faulty_out((0, 0))) == 1
+        assert self.graph.faulty_out((0, 1)) == []
+
+    def test_dot_render_bolds_faulty_edges(self):
+        dot = self.graph.to_dot(name="PGCF")
+        assert "style=bold" in dot
+        assert 'digraph PGCF' in dot
+        assert dot.count("style=bold") == 2
+
+
+class TestMaskingPairs:
+    """Definition 8: f_l masks f_k iff V(Fv_k) = V(I_l) on a shared
+    victim (the masking edge leaves the state the masked one enters)."""
+
+    def test_equation_13_pair_masks(self):
+        graph, _ = pgcf_example_graph()
+        pairs = graph.masking_pairs()
+        assert len(pairs) >= 1
+        masking, masked = pairs[0]
+        assert masking.src == masked.dst
+        victim = masked.victim_cell
+        assert masking.dst[victim] != masked.dst[victim]
+
+    def test_unrelated_edges_do_not_mask(self):
+        graph = PatternGraph(2)
+        instance = FaultInstance.from_simple(
+            fp_by_name("TFU"), victim=0)
+        graph.add_fault_instance(instance)
+        # A single simple fault cannot mask itself.
+        assert all(
+            m is not k for m, k in graph.masking_pairs())
+
+
+class TestConstruction:
+    def test_simple_fault_edges_are_component_zero(self):
+        graph = PatternGraph(2)
+        instance = FaultInstance.from_simple(fp_by_name("WDF0"), victim=1)
+        edges = graph.add_fault_instance(instance)
+        assert all(e.component == 0 for e in edges)
+        # Free cell enumerates both values: two AFPs.
+        assert len(edges) == 2
+
+    def test_sensitizing_and_victim_cells(self):
+        graph = PatternGraph(2)
+        instance = FaultInstance.from_simple(
+            fp_by_name("CFds_0w1_v0"), victim=1, aggressor=0)
+        edges = graph.add_fault_instance(instance)
+        assert all(e.sensitizing_cell == 0 for e in edges)
+        assert all(e.victim_cell == 1 for e in edges)
+
+    def test_pattern_requires_afp_backing(self):
+        from repro.core.afp import TestPattern
+        from repro.faults.operations import read, write
+        graph = PatternGraph(1)
+        orphan = TestPattern(
+            initial=(0,), operations=(write(1, 0),),
+            observe=read(1, 0))
+        with pytest.raises(ValueError):
+            graph.add_pattern(orphan, "orphan")
+
+    def test_three_cell_graph(self):
+        graph = PatternGraph(3)
+        fault = LinkedFault(
+            fp_by_name("CFds_0w1_v0"), fp_by_name("CFds_0w1_v1"),
+            Topology.LF3)
+        instance = FaultInstance.from_linked(fault, (0, 2, 1))
+        edges = graph.add_fault_instance(instance)
+        assert graph.vertex_count() == 8
+        # Each component has one free cell -> 2 AFPs each.
+        assert len(edges) == 4

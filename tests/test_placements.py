@@ -1,0 +1,80 @@
+"""Unit tests for placement and resolution enumeration."""
+
+import pytest
+
+from repro.sim.placements import (
+    LF3_LAYOUTS,
+    order_resolutions,
+    role_placements,
+)
+
+
+class TestRolePlacements:
+    def test_single_cell_covers_boundaries(self):
+        assert role_placements(1, 3) == [(0,), (2,)]
+
+    def test_single_cell_on_minimal_memory(self):
+        assert role_placements(1, 1) == [(0,)]
+
+    def test_two_cells_cover_both_orders(self):
+        placements = role_placements(2, 3)
+        assert (0, 2) in placements and (2, 0) in placements
+        # Adjacent variants guard against distance dependence.
+        assert (0, 1) in placements and (1, 0) in placements
+
+    def test_two_cells_on_two_cell_memory(self):
+        assert role_placements(2, 2) == [(0, 1), (1, 0)]
+
+    def test_three_cells_straddle_layout(self):
+        placements = role_placements(3, 3, lf3_layout="straddle")
+        # (a1, a2, v): the victim sits between the aggressors.
+        assert placements == [(0, 2, 1), (2, 0, 1)]
+
+    def test_three_cells_all_layout(self):
+        placements = role_placements(3, 3, lf3_layout="all")
+        assert len(placements) == 6
+        assert len(set(placements)) == 6
+
+    def test_layout_validation(self):
+        with pytest.raises(ValueError):
+            role_placements(3, 3, lf3_layout="diagonal")
+        assert set(LF3_LAYOUTS) == {"straddle", "all"}
+
+    def test_memory_too_small(self):
+        with pytest.raises(ValueError):
+            role_placements(3, 2)
+        with pytest.raises(ValueError):
+            role_placements(2, 1)
+
+    def test_role_count_validation(self):
+        with pytest.raises(ValueError):
+            role_placements(0, 3)
+        with pytest.raises(ValueError):
+            role_placements(4, 8)
+
+    def test_placements_never_alias_cells(self):
+        for roles in (2, 3):
+            for layout in LF3_LAYOUTS:
+                for placement in role_placements(roles, 5, layout):
+                    assert len(set(placement)) == roles
+
+
+class TestOrderResolutions:
+    def test_no_any_elements(self):
+        assert order_resolutions(0) == [()]
+
+    def test_exhaustive_enumeration(self):
+        resolutions = order_resolutions(3)
+        assert len(resolutions) == 8
+        assert len(set(resolutions)) == 8
+        assert all(len(r) == 3 for r in resolutions)
+
+    def test_sampling_beyond_limit(self):
+        resolutions = order_resolutions(10, exhaustive_limit=6)
+        assert tuple([False] * 10) in resolutions
+        assert tuple([True] * 10) in resolutions
+        # all-up, all-down, plus single flips of each: 2 + 2*10 = 22.
+        assert len(resolutions) == 22
+
+    def test_limit_boundary_is_exhaustive(self):
+        assert len(order_resolutions(6, exhaustive_limit=6)) == 64

@@ -1,0 +1,188 @@
+"""Unit tests for fault primitives (paper Definition 3)."""
+
+import pytest
+
+from repro.faults.library import fp_by_name
+from repro.faults.operations import OpKind, read, write
+from repro.faults.primitives import (
+    AGGRESSOR,
+    FaultClass,
+    FaultPrimitive,
+    VICTIM,
+    parse_fp,
+)
+from repro.faults.values import DONT_CARE
+
+
+class TestValidation:
+    def test_single_cell_has_no_aggressor_state(self):
+        with pytest.raises(ValueError):
+            FaultPrimitive(
+                name="bad", ffm=FaultClass.TF, cells=1,
+                aggressor_state=0, victim_state=0,
+                op=write(1), op_role=VICTIM, effect=0)
+
+    def test_two_cell_requires_aggressor_state(self):
+        with pytest.raises(ValueError):
+            FaultPrimitive(
+                name="bad", ffm=FaultClass.CFDS, cells=2,
+                aggressor_state=None, victim_state=0,
+                op=write(1), op_role=AGGRESSOR, effect=1)
+
+    def test_state_fault_has_no_role_or_read_out(self):
+        with pytest.raises(ValueError):
+            FaultPrimitive(
+                name="bad", ffm=FaultClass.SF, cells=1,
+                aggressor_state=None, victim_state=0,
+                op=None, op_role=VICTIM, effect=1)
+
+    def test_read_out_only_for_victim_reads(self):
+        with pytest.raises(ValueError):
+            FaultPrimitive(
+                name="bad", ffm=FaultClass.CFDS, cells=2,
+                aggressor_state=0, victim_state=0,
+                op=write(1), op_role=AGGRESSOR, effect=1, read_out=1)
+
+    def test_three_cells_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPrimitive(
+                name="bad", ffm=FaultClass.CFDS, cells=3,
+                aggressor_state=0, victim_state=0,
+                op=write(1), op_role=AGGRESSOR, effect=1)
+
+
+class TestClassificationProperties:
+    def test_transition_fault_flips_victim(self):
+        # TFU leaves the cell at 0 where a fault-free write sets 1.
+        tfu = fp_by_name("TFU")
+        assert tfu.fault_free_victim_value() == 1
+        assert tfu.effect == 0
+        assert tfu.flips_victim
+
+    def test_incorrect_read_does_not_flip(self):
+        irf0 = fp_by_name("IRF0")
+        assert not irf0.flips_victim
+
+    def test_state_fault_flips(self):
+        assert fp_by_name("SF0").flips_victim
+        assert fp_by_name("SF0").is_state_fault
+
+    def test_sensitization_kind_predicates(self):
+        assert fp_by_name("WDF0").sensitized_by_write
+        assert fp_by_name("RDF1").sensitized_by_read
+        assert not fp_by_name("SF1").sensitized_by_read
+
+
+class TestMatching:
+    def test_wdf_matches_exact_write(self):
+        wdf0 = fp_by_name("WDF0")
+        assert wdf0.matches(OpKind.WRITE, 0, VICTIM, DONT_CARE, 0)
+        assert not wdf0.matches(OpKind.WRITE, 1, VICTIM, DONT_CARE, 0)
+        assert not wdf0.matches(OpKind.WRITE, 0, VICTIM, DONT_CARE, 1)
+        assert not wdf0.matches(OpKind.READ, None, VICTIM, DONT_CARE, 0)
+
+    def test_read_fault_ignores_march_expectation(self):
+        rdf1 = fp_by_name("RDF1")
+        # A read sensitizes regardless of the test's expected value.
+        assert rdf1.matches(OpKind.READ, None, VICTIM, DONT_CARE, 1)
+        assert not rdf1.matches(OpKind.READ, None, VICTIM, DONT_CARE, 0)
+
+    def test_two_cell_requires_both_states(self):
+        cfds = fp_by_name("CFds_0w1_v0")
+        assert cfds.matches(OpKind.WRITE, 1, AGGRESSOR, 0, 0)
+        assert not cfds.matches(OpKind.WRITE, 1, AGGRESSOR, 1, 0)
+        assert not cfds.matches(OpKind.WRITE, 1, AGGRESSOR, 0, 1)
+        assert not cfds.matches(OpKind.WRITE, 1, VICTIM, 0, 0)
+
+    def test_state_faults_never_match_operations(self):
+        sf0 = fp_by_name("SF0")
+        assert not sf0.matches(OpKind.WRITE, 0, VICTIM, DONT_CARE, 0)
+
+    def test_condition_holds(self):
+        cfst = fp_by_name("CFst_a1_v0")
+        assert cfst.condition_holds(1, 0)
+        assert not cfst.condition_holds(0, 0)
+        assert not cfst.condition_holds(1, 1)
+        # Unknown actual states never satisfy binary conditions.
+        assert not cfst.condition_holds(DONT_CARE, 0)
+
+
+class TestNotationAndParsing:
+    @pytest.mark.parametrize("name,expected", [
+        ("SF0", "<0/1/->"),
+        ("TFU", "<0w1/0/->"),
+        ("WDF1", "<1w1/0/->"),
+        ("RDF0", "<0r0/1/1>"),
+        ("DRDF1", "<1r1/0/1>"),
+        ("IRF0", "<0r0/0/1>"),
+        ("CFst_a1_v0", "<1;0/1/->"),
+        ("CFds_0w1_v0", "<0w1;0/1/->"),
+        ("CFtr_a0_0w1", "<0;0w1/0/->"),
+        ("CFwd_a1_v1", "<1;1w1/0/->"),
+        ("CFrd_a0_v0", "<0;0r0/1/1>"),
+        ("CFdr_a1_v1", "<1;1r1/0/1>"),
+        ("CFir_a0_v1", "<0;1r1/1/0>"),
+    ])
+    def test_notation_matches_literature(self, name, expected):
+        assert fp_by_name(name).notation() == expected
+
+    @pytest.mark.parametrize("name", [
+        "SF0", "SF1", "TFU", "TFD", "WDF0", "WDF1", "RDF0", "RDF1",
+        "DRDF0", "DRDF1", "IRF0", "IRF1",
+        "CFst_a0_v0", "CFds_1r1_v0", "CFtr_a1_1w0", "CFwd_a0_v1",
+        "CFrd_a1_v0", "CFdr_a0_v0", "CFir_a1_v1",
+    ])
+    def test_parse_round_trip_preserves_semantics(self, name):
+        original = fp_by_name(name)
+        parsed = parse_fp(original.notation(), name=name, ffm=original.ffm)
+        assert parsed.victim_state == original.victim_state
+        assert parsed.aggressor_state == original.aggressor_state
+        assert parsed.effect == original.effect
+        assert parsed.read_out == original.read_out
+        assert parsed.op_role == original.op_role
+        if original.op is None:
+            assert parsed.op is None
+        else:
+            assert parsed.op.kind is original.op.kind
+            assert parsed.op.value == original.op.value
+
+    def test_parse_infers_ffm_families(self):
+        assert parse_fp("<0w1/0/->").ffm is FaultClass.TF
+        assert parse_fp("<1w1/0/->").ffm is FaultClass.WDF
+        assert parse_fp("<0r0/1/1>").ffm is FaultClass.RDF
+        assert parse_fp("<0r0/1/0>").ffm is FaultClass.DRDF
+        assert parse_fp("<0r0/0/1>").ffm is FaultClass.IRF
+        assert parse_fp("<0/1/->").ffm is FaultClass.SF
+        assert parse_fp("<0w1;0/1/->").ffm is FaultClass.CFDS
+        assert parse_fp("<1;0/1/->").ffm is FaultClass.CFST
+        assert parse_fp("<1;0w1/0/->").ffm is FaultClass.CFTR
+        assert parse_fp("<1;0w0/1/->").ffm is FaultClass.CFWD
+        assert parse_fp("<1;0r0/1/1>").ffm is FaultClass.CFRD
+        assert parse_fp("<1;0r0/1/0>").ffm is FaultClass.CFDR
+        assert parse_fp("<1;0r0/0/1>").ffm is FaultClass.CFIR
+
+    def test_parse_paper_example(self):
+        # Section 2: FP = <0w1; 0/1/->.
+        fp = parse_fp("< 0w1 ; 0 / 1 / - >")
+        assert fp.cells == 2
+        assert fp.aggressor_state == 0
+        assert fp.victim_state == 0
+        assert fp.op.is_write and fp.op.value == 1
+        assert fp.op_role == AGGRESSOR
+        assert fp.effect == 1
+        assert fp.read_out is None
+
+    @pytest.mark.parametrize("bad", [
+        "<0w1/2/->",      # non-binary effect
+        "<0w1/0>",        # missing R field
+        "<0w1;1;0/1/->",  # too many components
+        "<0w1;0w1/1/->",  # two sensitizing operations
+        "<zz/0/->",       # garbage sensitization
+    ])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_fp(bad)
+
+    def test_str_contains_name_and_notation(self):
+        text = str(fp_by_name("TFU"))
+        assert "TFU" in text and "<0w1/0/->" in text

@@ -1,0 +1,82 @@
+"""Unit tests for the simulation-guarded pruner."""
+
+import pytest
+
+from repro.core.pruner import prune_march
+from repro.faults.library import fp_by_name
+from repro.faults.lists import fault_list_2, simple_single_cell_faults
+from repro.march.element import AddressOrder
+from repro.march.test import parse_march
+from repro.sim.coverage import CoverageOracle
+
+
+class TestPruning:
+    def test_padded_test_is_reduced(self):
+        # March SS with a gratuitous extra element and doubled reads.
+        padded = parse_march(
+            "c(w0) c(r0,r0) U(r0,r0,w0,r0,w1) U(r1,r1,w1,r1,w0)"
+            " D(r0,r0,w0,r0,w1) D(r1,r1,w1,r1,w0) c(r0) c(r0)",
+            name="padded SS")
+        oracle = CoverageOracle(simple_single_cell_faults())
+        assert oracle.evaluate(padded).complete
+        result = prune_march(padded, oracle)
+        assert result.complexity < padded.complexity
+        assert oracle.evaluate(result.test).complete
+        assert result.removed_operations + result.removed_elements > 0
+
+    def test_pruning_preserves_partial_coverage(self):
+        # A test covering a strict subset must keep that subset.
+        test = parse_march("c(w0) U(r0,w1) D(r1,w0) c(r0)", name="C-ish")
+        oracle = CoverageOracle(fault_list_2())
+        before = {f.name for f in oracle.evaluate(test).detected}
+        result = prune_march(test, oracle)
+        after = {f.name for f in oracle.evaluate(result.test).detected}
+        assert before <= after
+
+    def test_minimal_test_is_untouched(self):
+        test = parse_march("c(w0) c(r0)", name="minimal")
+        oracle = CoverageOracle([fp_by_name("SF0")])
+        result = prune_march(test, oracle)
+        assert oracle.evaluate(result.test).complete
+        assert result.test.complexity == 2
+
+    def test_inconsistent_input_rejected(self):
+        bad = parse_march("U(r0)", name="bad")
+        oracle = CoverageOracle([fp_by_name("SF0")])
+        with pytest.raises(Exception):
+            prune_march(bad, oracle)
+
+    def test_merge_pass_can_fuse_same_order_neighbours(self):
+        test = parse_march(
+            "c(w0) U(r0,w1) U(r1,w0) U(r0,w1) U(r1,w0) c(r0)",
+            name="fusable")
+        oracle = CoverageOracle([fp_by_name("SF0"), fp_by_name("SF1")])
+        result = prune_march(test, oracle, merge=True)
+        assert oracle.evaluate(result.test).complete
+        # SF coverage needs almost nothing; the test shrinks a lot.
+        assert result.complexity <= 4
+
+    def test_generalize_orders_pass(self):
+        test = parse_march("c(w0) U(r0,w1) U(r1)", name="upward")
+        oracle = CoverageOracle(
+            [fp_by_name("TFU"), fp_by_name("SF0"), fp_by_name("SF1")])
+        result = prune_march(test, oracle, generalize_orders=True)
+        assert oracle.evaluate(result.test).complete
+        # Single-cell faults are direction-blind: orders generalize.
+        assert all(el.order is AddressOrder.ANY
+                   for el in result.test.elements)
+
+    def test_generalize_can_be_disabled(self):
+        test = parse_march("c(w0) U(r0)", name="upward")
+        oracle = CoverageOracle([fp_by_name("SF0")])
+        result = prune_march(test, oracle, generalize_orders=False)
+        assert result.generalized_orders == 0
+        assert result.test.elements[1].order is AddressOrder.UP
+
+    def test_result_accounting(self):
+        test = parse_march("c(w0) c(r0) c(r0)", name="doubled")
+        oracle = CoverageOracle([fp_by_name("SF0")])
+        result = prune_march(test, oracle)
+        assert result.original_complexity == 3
+        assert result.complexity == 2
+        assert result.seconds >= 0

@@ -1,0 +1,91 @@
+"""Unit tests for the cell-state algebra (paper Definition 1)."""
+
+import pytest
+
+from repro.faults.values import (
+    CELL_STATES,
+    DONT_CARE,
+    flip,
+    is_bit,
+    parse_state,
+    parse_word,
+    state_str,
+    states_match,
+    validate_state,
+    word_str,
+)
+
+
+class TestStates:
+    def test_alphabet_matches_definition_1(self):
+        assert CELL_STATES == (0, 1, DONT_CARE)
+
+    def test_is_bit(self):
+        assert is_bit(0)
+        assert is_bit(1)
+        assert not is_bit(DONT_CARE)
+        assert not is_bit(2)
+        assert not is_bit(None)
+
+    @pytest.mark.parametrize("value", [0, 1, DONT_CARE])
+    def test_validate_accepts_alphabet(self, value):
+        assert validate_state(value) == value
+
+    @pytest.mark.parametrize("value", [2, -1, None, "x", 0.5])
+    def test_validate_rejects_garbage(self, value):
+        with pytest.raises(ValueError):
+            validate_state(value)
+
+
+class TestFlip:
+    def test_flip_bits(self):
+        assert flip(0) == 1
+        assert flip(1) == 0
+
+    def test_flip_is_involution(self):
+        for bit in (0, 1):
+            assert flip(flip(bit)) == bit
+
+    def test_flip_rejects_dont_care(self):
+        with pytest.raises(ValueError):
+            flip(DONT_CARE)
+
+
+class TestRendering:
+    @pytest.mark.parametrize("value,text", [(0, "0"), (1, "1"),
+                                            (DONT_CARE, "-")])
+    def test_state_str(self, value, text):
+        assert state_str(value) == text
+
+    @pytest.mark.parametrize("text,value", [("0", 0), ("1", 1),
+                                            ("-", DONT_CARE)])
+    def test_parse_state(self, text, value):
+        assert parse_state(text) == value
+
+    def test_parse_state_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_state("2")
+
+    def test_word_round_trip(self):
+        word = (1, 0, DONT_CARE)
+        assert parse_word(word_str(word)) == word
+
+    def test_word_str_order_is_lowest_address_first(self):
+        # Definition 4: first value = cell with the lowest address.
+        assert word_str((1, 0)) == "10"
+
+
+class TestStatesMatch:
+    def test_dont_care_requirement_matches_everything(self):
+        for actual in (0, 1, DONT_CARE):
+            assert states_match(actual, DONT_CARE)
+
+    def test_binary_requirement_matches_identical(self):
+        assert states_match(0, 0)
+        assert states_match(1, 1)
+        assert not states_match(0, 1)
+        assert not states_match(1, 0)
+
+    def test_unknown_actual_never_satisfies_binary_requirement(self):
+        assert not states_match(DONT_CARE, 0)
+        assert not states_match(DONT_CARE, 1)
