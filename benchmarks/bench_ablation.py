@@ -12,8 +12,6 @@ Four axes:
 
 from __future__ import annotations
 
-import pytest
-
 from benchmarks.conftest import emit
 from repro.analysis.table import TextTable
 from repro.core.generator import MarchGenerator

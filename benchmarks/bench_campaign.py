@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Campaign engine benchmark and regression gate.
+
+Runs the same multi-test coverage-campaign workload twice -- serial
+(``workers=1``, today's oracle path) and parallel (process-pool
+fan-out) -- and writes ``BENCH_campaign.json`` with wall time,
+contexts/second and an entry-by-entry identity verdict.
+
+As a CI gate (``--gate``) the script fails when:
+
+* the parallel campaign's reports differ from the serial ones in any
+  way (this must never happen, on any machine), or
+* the machine has at least ``--gate-cores`` cores (default 4) and the
+  parallel run is slower than ``--min-speedup`` × serial (default
+  1.0) on the chosen workload.
+
+The speed leg is skipped (with a note in the JSON) on smaller
+machines, where pool overhead legitimately dominates.
+
+Usage::
+
+    python benchmarks/bench_campaign.py --workload smoke --gate \
+        --out BENCH_campaign.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.faults.lists import fault_list_1, fault_list_2
+from repro.march.known import ALL_KNOWN
+from repro.sim.campaign import CampaignResult, CoverageCampaign
+
+
+def _workload(name: str) -> Dict[str, object]:
+    """Tests and fault lists for a named workload.
+
+    * ``tiny`` -- three tests × Fault List #2; seconds even with pool
+      start-up, used by the unit tests.
+    * ``smoke`` -- every known test × a 300-fault slice of Fault List
+      #1; the CI gate workload (~2 s serial).
+    * ``full`` -- every known test × both paper fault lists; the
+      multi-test campaign workload of the acceptance criteria.
+    """
+    tests = [km.test for km in ALL_KNOWN.values()]
+    if name == "tiny":
+        return {
+            "tests": tests[:3],
+            "fault_lists": {"FL#2": list(fault_list_2())},
+        }
+    if name == "smoke":
+        return {
+            "tests": tests,
+            "fault_lists": {"FL#1[:300]": list(fault_list_1()[:300])},
+        }
+    if name == "full":
+        return {
+            "tests": tests,
+            "fault_lists": {
+                "FL#1": list(fault_list_1()),
+                "FL#2": list(fault_list_2()),
+            },
+        }
+    raise SystemExit(f"unknown workload {name!r}; "
+                     f"choose from tiny, smoke, full")
+
+
+def _run(workload: Dict[str, object], workers: int) -> CampaignResult:
+    campaign = CoverageCampaign(
+        workload["tests"], workload["fault_lists"], workers=workers)
+    return campaign.run()
+
+
+def _timing(result: CampaignResult) -> Dict[str, object]:
+    return {
+        "workers": result.workers,
+        "wall_seconds": result.wall_seconds,
+        "contexts_simulated": result.contexts_simulated,
+        "contexts_per_second": result.contexts_per_second,
+    }
+
+
+def run_benchmark(
+    workload_name: str, workers: int, gate_cores: int, min_speedup: float
+) -> Dict[str, object]:
+    """Benchmark serial vs parallel; return the gate-ready payload."""
+    workload = _workload(workload_name)
+    serial = _run(workload, workers=1)
+    parallel = _run(workload, workers=workers)
+    serial_entries = [entry.to_dict() for entry in serial.entries]
+    parallel_entries = [entry.to_dict() for entry in parallel.entries]
+    identical = serial_entries == parallel_entries
+    speedup = (
+        serial.wall_seconds / parallel.wall_seconds
+        if parallel.wall_seconds > 0 else 0.0)
+    cores = os.cpu_count() or 1
+    return {
+        "workload": workload_name,
+        "cpu_count": cores,
+        "jobs": len(serial.entries),
+        "serial": _timing(serial),
+        "parallel": _timing(parallel),
+        "speedup": speedup,
+        "identical": identical,
+        "speed_gate_applies": cores >= gate_cores,
+        "min_speedup": min_speedup,
+        "entries": serial_entries,
+    }
+
+
+def gate(payload: Dict[str, object]) -> List[str]:
+    """Regression-gate verdict: a list of failure messages (empty=pass)."""
+    failures = []
+    if not payload["identical"]:
+        failures.append(
+            "serial and parallel campaign results DIVERGE -- the "
+            "process-pool fan-out is broken")
+    if payload["speed_gate_applies"] \
+            and payload["speedup"] < payload["min_speedup"]:
+        failures.append(
+            f"parallel campaign is slower than the gate allows: "
+            f"speedup {payload['speedup']:.2f}x < "
+            f"{payload['min_speedup']:.2f}x on {payload['cpu_count']} "
+            f"cores")
+    return failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--workload", default="smoke",
+                        choices=("tiny", "smoke", "full"))
+    parser.add_argument("--workers", type=int,
+                        default=max(2, os.cpu_count() or 1),
+                        help="parallel worker count (default: all cores, "
+                             "minimum 2)")
+    parser.add_argument("--out", default="BENCH_campaign.json",
+                        help="output JSON path")
+    parser.add_argument("--gate", action="store_true",
+                        help="exit non-zero on divergence or regression")
+    parser.add_argument("--gate-cores", type=int, default=4,
+                        help="apply the speed leg of the gate only on "
+                             "machines with at least this many cores")
+    parser.add_argument("--min-speedup", type=float, default=1.0,
+                        help="required parallel-vs-serial speedup when "
+                             "the speed gate applies")
+    args = parser.parse_args(argv)
+
+    payload = run_benchmark(
+        args.workload, args.workers, args.gate_cores, args.min_speedup)
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    print(f"workload={payload['workload']} jobs={payload['jobs']} "
+          f"cores={payload['cpu_count']}")
+    for leg in ("serial", "parallel"):
+        timing = payload[leg]
+        print(f"  {leg:8s} workers={timing['workers']} "
+              f"wall={timing['wall_seconds']:.2f}s "
+              f"contexts/s={timing['contexts_per_second']:,.0f}")
+    print(f"  speedup={payload['speedup']:.2f}x "
+          f"identical={payload['identical']}")
+    if payload["speed_gate_applies"]:
+        print(f"  speed gate: APPLIES "
+              f"(requires >= {payload['min_speedup']:.2f}x "
+              f"on {payload['cpu_count']} cores)")
+    else:
+        print(f"  speed gate: SKIPPED "
+              f"({payload['cpu_count']} cores < {args.gate_cores}; "
+              f"identity check still enforced)")
+    print(f"report written to {args.out}")
+
+    if args.gate:
+        failures = gate(payload)
+        for failure in failures:
+            print(f"GATE FAILURE: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("benchmark regression gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

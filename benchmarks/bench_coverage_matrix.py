@@ -9,11 +9,10 @@ visible at once.
 
 from __future__ import annotations
 
-import pytest
-
 from benchmarks.conftest import emit
 from repro.analysis.compare import coverage_matrix
 from repro.march.known import ALL_KNOWN
+from repro.sim.campaign import CoverageCampaign
 from repro.sim.coverage import CoverageOracle
 
 EXPECTED_COMPLETE_ON_FL1 = {"March ABL", "March SL", "43n March Test"}
@@ -30,6 +29,17 @@ def test_coverage_matrix_all_known(benchmark, fl1, fl2, simple_faults,
     table = benchmark.pedantic(
         lambda: coverage_matrix(tests, lists), rounds=1, iterations=1)
     emit(results_dir, "coverage_matrix", table.render())
+
+
+def test_campaign_all_known(benchmark, fl1, fl2, simple_faults,
+                            results_dir):
+    """The same grid as one explicit campaign (per-job table + rates)."""
+    tests = [km.test for km in ALL_KNOWN.values()]
+    lists = {"FL#1": fl1, "FL#2": fl2, "simple": simple_faults}
+    campaign = CoverageCampaign(tests, lists)
+    result = benchmark.pedantic(campaign.run, rounds=1, iterations=1)
+    emit(results_dir, "campaign_all_known",
+         result.render() + "\n" + result.summary())
 
 
 def test_complete_coverage_claims(benchmark, fl1, fl2, results_dir):

@@ -7,8 +7,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from benchmarks.conftest import emit
 from repro.analysis.table import TextTable
 from repro.core.generator import MarchGenerator

@@ -12,8 +12,6 @@ generated test detect it, and times the underlying simulations.
 
 from __future__ import annotations
 
-import pytest
-
 from benchmarks.conftest import emit
 from repro.analysis.table import TextTable
 from repro.faults.library import fp_by_name

@@ -9,8 +9,6 @@ enumeration over the whole of Fault List #1.
 
 from __future__ import annotations
 
-import pytest
-
 from benchmarks.conftest import emit
 from repro.analysis.table import TextTable
 from repro.core.afp import afps_for_bound_primitive, linked_afp_chains

@@ -7,8 +7,6 @@ fault of equations (12)-(14): G0 plus two bold faulty edges,
 
 from __future__ import annotations
 
-import pytest
-
 from benchmarks.conftest import emit
 from repro.analysis.dot import pgcf_example_graph
 from repro.analysis.table import TextTable

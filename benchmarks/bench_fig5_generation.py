@@ -10,8 +10,6 @@ one full generation step.
 
 from __future__ import annotations
 
-import pytest
-
 from benchmarks.conftest import emit
 from repro.analysis.table import TextTable
 from repro.core.generator import ELEMENT_SHAPES, MarchGenerator, \

@@ -18,6 +18,7 @@ from repro.faults.library import fp_by_name
 from repro.march.known import MARCH_SL
 from repro.memory.injection import FaultInstance
 from repro.memory.sram import FaultyMemory
+from repro.sim.campaign import CoverageCampaign
 from repro.sim.coverage import CoverageOracle
 from repro.sim.engine import run_march
 
@@ -58,6 +59,19 @@ def test_scaling_oracle_evaluation(benchmark, fl1, size, results_dir):
     report = benchmark.pedantic(
         lambda: oracle.evaluate(MARCH_SL.test), rounds=1, iterations=2)
     assert report.complete
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_scaling_campaign_workers(benchmark, fl1, workers, results_dir):
+    """Campaign fan-out vs worker count on the full FL#1 list."""
+    campaign = CoverageCampaign(
+        MARCH_SL.test, {"FL#1": fl1}, workers=workers)
+    result = benchmark.pedantic(campaign.run, rounds=1, iterations=1)
+    assert result.complete
+    table = TextTable(["workers", "wall (s)", "contexts/s"])
+    table.add_row([workers, f"{result.wall_seconds:.2f}",
+                   f"{result.contexts_per_second:,.0f}"])
+    emit(results_dir, f"scaling_campaign_w{workers}", table.render())
 
 
 @pytest.mark.parametrize("size", [24, 108, 432, 876])

@@ -22,8 +22,6 @@ the comparison claims that must hold are asserted:
 
 from __future__ import annotations
 
-import pytest
-
 from benchmarks.conftest import emit
 from repro.analysis.compare import improvement
 from repro.analysis.table import TextTable

@@ -48,7 +48,8 @@ def main() -> None:
 
     rabl = oracle1.evaluate(ALL_KNOWN["March RABL"].test)
     print(f"\nReproduction finding -- March RABL measures "
-          f"{len(rabl.detected)}/{rabl.total} on Fault List #1; escapes:")
+          f"{len(rabl.detected_names)}/{rabl.total} on Fault List #1; "
+          f"escapes:")
     for fault in rabl.escaped_faults:
         print(f"    {fault.name}")
 

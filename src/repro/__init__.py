@@ -46,9 +46,15 @@ from repro.memory import FaultyMemory, FaultInstance, MealyMemory
 from repro.memory.graph import build_memory_graph
 from repro.core import MarchGenerator, GenerationResult, PatternGraph
 from repro.core.pruner import prune_march
-from repro.sim import CoverageOracle, CoverageReport, run_march
+from repro.sim import (
+    CampaignResult,
+    CoverageCampaign,
+    CoverageOracle,
+    CoverageReport,
+    run_march,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "FaultClass",
@@ -75,6 +81,8 @@ __all__ = [
     "prune_march",
     "CoverageOracle",
     "CoverageReport",
+    "CoverageCampaign",
+    "CampaignResult",
     "run_march",
     "__version__",
 ]

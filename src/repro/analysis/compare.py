@@ -23,7 +23,8 @@ from repro.march.known import (
     MARCH_SL,
 )
 from repro.march.test import MarchTest
-from repro.sim.coverage import CoverageOracle, TargetFault
+from repro.sim.campaign import CoverageCampaign
+from repro.sim.coverage import TargetFault
 
 
 def improvement(ours: int, baseline: int) -> float:
@@ -146,19 +147,29 @@ def coverage_matrix(
     fault_lists: Dict[str, Sequence[TargetFault]],
     memory_size: int = 3,
     lf3_layout: str = "straddle",
+    workers: int = 1,
 ) -> TextTable:
-    """Coverage of every test against every fault list, as a table."""
-    oracles = {
-        label: CoverageOracle(
-            faults, memory_size=memory_size, lf3_layout=lf3_layout)
-        for label, faults in fault_lists.items()
+    """Coverage of every test against every fault list, as a table.
+
+    Runs as one :class:`~repro.sim.campaign.CoverageCampaign`: pass
+    ``workers > 1`` to fan the tests × lists grid out over processes
+    (the rendered table is identical for any worker count).
+    """
+    campaign = CoverageCampaign(
+        tests, fault_lists,
+        memory_sizes=(memory_size,),
+        lf3_layouts=(lf3_layout,),
+        workers=workers)
+    reports = {
+        (entry.job.test, entry.job.fault_list): entry.report
+        for entry in campaign.run().entries
     }
     table = TextTable(
         ["March Test", "O(n)"] + [f"{label} %" for label in fault_lists])
     for test in tests:
         cells: List[str] = [test.name, f"{test.complexity}n"]
         for label in fault_lists:
-            report = oracles[label].evaluate(test)
+            report = reports[(test, label)]
             cells.append(f"{100.0 * report.coverage:.1f}")
         table.add_row(cells)
     return table

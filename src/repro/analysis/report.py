@@ -11,7 +11,7 @@ the benchmark harness; this report is the fast, self-checking core.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Sequence
 
 from repro.analysis.compare import build_table1, improvement
 from repro.faults.lists import fault_list_1, fault_list_2

@@ -7,6 +7,7 @@ Installed as ``repro-march``::
     repro-march coverage "March SL"   # coverage of a known test
     repro-march simulate "c(w0) U(r0,w1) D(r1,w0)" --fault-list 2
     repro-march generate --fault-list 1
+    repro-march campaign --fault-lists 1 2 --workers 4 --sizes 3 4
     repro-march table1                # reproduce the paper's Table 1
     repro-march figure --which g0     # DOT source of Figure 2 / 4
 """
@@ -41,6 +42,7 @@ from repro.faults.lists import (
 )
 from repro.march.known import ALL_KNOWN, known_march
 from repro.march.test import parse_march
+from repro.sim.campaign import CoverageCampaign
 from repro.sim.coverage import CoverageOracle
 
 
@@ -120,6 +122,48 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0 if report.complete else 1
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    tests = []
+    try:
+        for name in args.tests or ():
+            tests.append(known_march(name).test)
+    except KeyError as error:
+        raise SystemExit(error.args[0])
+    for notation in args.notation or ():
+        try:
+            test = parse_march(notation, name=notation)
+            test.check_consistency()
+        except ValueError as error:
+            raise SystemExit(f"invalid march {notation!r}: {error}")
+        tests.append(test)
+    if not tests:
+        # No explicit selection: qualify every known march test.
+        tests = [km.test for km in ALL_KNOWN.values()]
+    fault_lists = {
+        label: _fault_list(label) for label in args.fault_lists}
+    try:
+        campaign = CoverageCampaign(
+            tests, fault_lists,
+            memory_sizes=tuple(args.sizes),
+            lf3_layouts=tuple(args.lf3_layouts),
+            workers=args.workers,
+        )
+    except ValueError as error:
+        raise SystemExit(f"invalid campaign: {error}")
+    result = campaign.run()
+    print(result.render())
+    print(result.summary())
+    if args.verbose:
+        for entry in result.entries:
+            for fault in entry.report.escaped_faults:
+                print(f"  escape [{entry.job.describe()}]: {fault.name}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(result.to_json() + "\n")
+        print(f"campaign report written to {args.json}")
+    return 0 if result.complete else 1
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     from repro.march.element import parse_address_order
 
@@ -128,15 +172,19 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     if args.orders:
         allowed_orders = tuple(
             parse_address_order(marker) for marker in args.orders)
-    generator = MarchGenerator(
-        faults,
-        name=args.name,
-        lf3_layout=args.lf3_layout,
-        use_walker=not args.no_walker,
-        use_shapes=not args.no_shapes,
-        prune=not args.no_prune,
-        allowed_orders=allowed_orders,
-    )
+    try:
+        generator = MarchGenerator(
+            faults,
+            name=args.name,
+            lf3_layout=args.lf3_layout,
+            use_walker=not args.no_walker,
+            use_shapes=not args.no_shapes,
+            prune=not args.no_prune,
+            allowed_orders=allowed_orders,
+            workers=args.workers,
+        )
+    except ValueError as error:
+        raise SystemExit(f"invalid generator configuration: {error}")
     result = generator.generate()
     print(result.describe())
     if args.verbose:
@@ -233,8 +281,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--orders", nargs="+", metavar="ORDER",
         help="restrict address orders (u/d/c), e.g. --orders u for an "
              "all-ascending test (the paper's Section 7 constraint)")
+    generate.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="processes for the final qualification step (default 1; "
+             "N>1 fans the fault list out over a process pool with "
+             "results identical to the serial run)")
     generate.add_argument("--verbose", action="store_true")
     generate.set_defaults(func=_cmd_generate)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="batched coverage campaign: many tests x many fault "
+             "lists x many memory geometries, optionally in parallel",
+        description=(
+            "Qualify many march tests against many fault lists and "
+            "memory geometries in one batched campaign.  Work is "
+            "chunked by fault and fanned out over --workers "
+            "processes; results are deterministic and identical to "
+            "the serial oracle for any worker count."))
+    campaign.add_argument(
+        "--tests", nargs="+", metavar="NAME",
+        help='known march tests to qualify, e.g. --tests "March SL" '
+             '"March ABL1" (default when neither --tests nor '
+             '--notation is given: all known tests)')
+    campaign.add_argument(
+        "--notation", nargs="+", metavar="MARCH",
+        help='march tests in notation, e.g. "c(w0) c(r0)"; may be '
+             'combined with --tests or used alone')
+    campaign.add_argument(
+        "--fault-lists", nargs="+", default=["1"], metavar="LIST",
+        help="fault list labels to qualify against (default: 1)")
+    campaign.add_argument(
+        "--sizes", nargs="+", type=int, default=[3], metavar="N",
+        help="simulated memory sizes to sweep (default: 3)")
+    campaign.add_argument(
+        "--lf3-layouts", nargs="+", default=["straddle"],
+        choices=("straddle", "all"),
+        help="three-cell placement policies to sweep")
+    campaign.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes (default 1 = today's serial path; "
+             "N>1 chunks each fault list across a process pool, "
+             "deterministic result order either way)")
+    campaign.add_argument(
+        "--json", metavar="PATH",
+        help="also write the full campaign report as JSON")
+    campaign.add_argument("--verbose", action="store_true")
+    campaign.set_defaults(func=_cmd_campaign)
 
     sub.add_parser("table1", help="reproduce the paper's Table 1") \
         .set_defaults(func=_cmd_table1)

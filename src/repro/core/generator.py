@@ -41,6 +41,7 @@ from repro.faults.operations import Operation, read, write
 from repro.faults.values import Bit, flip
 from repro.march.element import AddressOrder, MarchElement
 from repro.march.test import MarchTest
+from repro.sim.campaign import CoverageCampaign
 from repro.sim.coverage import (
     CoverageOracle,
     CoverageReport,
@@ -179,6 +180,10 @@ class MarchGenerator:
             default allows all three orders.
         max_elements: safety bound on generated elements.
         exhaustive_limit: ``⇕`` resolution threshold for the oracle.
+        workers: process count for the final qualification step (the
+            paper's "all generated Tests have been fault simulated"),
+            run through :class:`~repro.sim.campaign.CoverageCampaign`.
+            ``1`` keeps everything in-process.
     """
 
     def __init__(
@@ -194,6 +199,7 @@ class MarchGenerator:
         allowed_orders: Optional[Sequence[AddressOrder]] = None,
         max_elements: int = 30,
         exhaustive_limit: int = 6,
+        workers: int = 1,
     ):
         if not faults:
             raise ValueError("the target fault list is empty")
@@ -217,6 +223,9 @@ class MarchGenerator:
             self.generalize_orders = False
         self.max_elements = max_elements
         self.exhaustive_limit = exhaustive_limit
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
         self._all_single_cell = all(
             fault_cells(f) == 1 for f in self.faults)
 
@@ -253,19 +262,19 @@ class MarchGenerator:
             state = self._commit(step, elements, oracle, trace)
         unpruned = MarchTest(self.name, tuple(elements))
         generation_seconds = time.perf_counter() - start
-        batch = CoverageOracle(
-            self.faults, self.memory_size, self.exhaustive_limit,
-            self.lf3_layout)
         prune_result: Optional[PruneResult] = None
         final = unpruned
         prune_seconds = 0.0
         if self.prune_enabled:
+            batch = CoverageOracle(
+                self.faults, self.memory_size, self.exhaustive_limit,
+                self.lf3_layout)
             prune_result = prune_march(
                 unpruned, batch,
                 generalize_orders=self.generalize_orders)
             final = prune_result.test
             prune_seconds = prune_result.seconds
-        report = batch.evaluate(final)
+        report = self._qualify(final)
         undetected = report.escaped_faults
         return GenerationResult(
             test=final,
@@ -278,6 +287,21 @@ class MarchGenerator:
             prune_seconds=prune_seconds,
             prune=prune_result,
         )
+
+    def _qualify(self, test: MarchTest) -> CoverageReport:
+        """Final validation of the accepted test via the campaign API.
+
+        With ``workers=1`` this is exactly the serial oracle
+        evaluation; with more workers the fault list fans out across a
+        process pool (identical report either way).
+        """
+        campaign = CoverageCampaign(
+            [test], {"target": self.faults},
+            memory_sizes=(self.memory_size,),
+            lf3_layouts=(self.lf3_layout,),
+            workers=self.workers,
+            exhaustive_limit=self.exhaustive_limit)
+        return campaign.run().entries[0].report
 
     # ------------------------------------------------------------------
     # Candidate machinery

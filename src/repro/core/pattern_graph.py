@@ -15,7 +15,6 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.afp import (
-    AddressedFaultPrimitive,
     TestPattern,
     afps_for_bound_primitive,
 )

@@ -21,7 +21,7 @@ This normal form is what the fault simulator
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.faults.operations import (

@@ -89,6 +89,57 @@ def parse_word(text: str) -> Tuple[CellState, ...]:
     return tuple(parse_state(ch) for ch in text)
 
 
+#: 2-bit encodings of the cell states for packed memory words.
+_PACK_CODES = {0: 0, 1: 1, DONT_CARE: 2}
+_UNPACK_CODES: Tuple[CellState, ...] = (0, 1, DONT_CARE)
+
+
+def pack_word(states: Iterable[CellState]) -> int:
+    """Pack a word of cell states into a single integer.
+
+    Each cell takes two bits (``0 → 00``, ``1 → 01``, ``- → 10``), the
+    lowest address in the least significant position.  Packed words are
+    cheap to hash, compare and copy, which is what the incremental
+    coverage oracle's snapshot store needs (see
+    :mod:`repro.sim.batch`); the word length is not encoded, so
+    :func:`unpack_word` must be told it.
+
+    Raises:
+        ValueError: if a state is not a member of ``C = {0, 1, -}``.
+    """
+    packed = 0
+    shift = 0
+    for state in states:
+        try:
+            code = _PACK_CODES[state]
+        except (KeyError, TypeError):
+            raise ValueError(
+                f"invalid cell state {state!r}; expected 0, 1 or '-'")
+        packed |= code << shift
+        shift += 2
+    return packed
+
+
+def unpack_word(packed: int, length: int) -> Tuple[CellState, ...]:
+    """Invert :func:`pack_word` for a word of *length* cells.
+
+    Raises:
+        ValueError: if *packed* holds an invalid code or has bits set
+            beyond *length* cells.
+    """
+    if packed < 0 or packed >> (2 * length):
+        raise ValueError(
+            f"packed word {packed:#x} does not fit {length} cells")
+    states = []
+    for index in range(length):
+        code = (packed >> (2 * index)) & 0b11
+        if code >= len(_UNPACK_CODES):
+            raise ValueError(
+                f"invalid packed cell code {code} at address {index}")
+        states.append(_UNPACK_CODES[code])
+    return tuple(states)
+
+
 def states_match(actual: CellState, required: CellState) -> bool:
     """Return ``True`` when *actual* satisfies the *required* condition.
 

@@ -15,11 +15,7 @@ from dataclasses import dataclass
 from typing import Iterator, List, Sequence, Tuple
 
 from repro.faults.values import DONT_CARE, CellState
-from repro.march.element import (
-    AddressOrder,
-    MarchElement,
-    parse_element,
-)
+from repro.march.element import MarchElement, parse_element
 
 
 class MarchConsistencyError(ValueError):

@@ -27,7 +27,13 @@ from typing import List, Optional, Tuple
 
 from repro.faults.operations import OpKind
 from repro.faults.primitives import PreviousOperation, VICTIM
-from repro.faults.values import Bit, CellState, DONT_CARE
+from repro.faults.values import (
+    Bit,
+    CellState,
+    DONT_CARE,
+    pack_word,
+    unpack_word,
+)
 from repro.memory.injection import BoundPrimitive, FaultInstance
 
 
@@ -78,6 +84,25 @@ class FaultyMemory:
         if len(cells) != self.size:
             raise ValueError("snapshot size mismatch")
         self._cells = list(cells)
+        self._previous = None
+
+    def packed_state(self) -> int:
+        """Bit-packed form of :meth:`state` (two bits per cell).
+
+        Packed snapshots are what the incremental coverage oracle
+        stores and deduplicates: an ``int`` hashes and compares faster
+        than a tuple of mixed ints and strings.
+        """
+        return pack_word(self._cells)
+
+    def load_packed(self, packed: int) -> None:
+        """Restore a snapshot captured with :meth:`packed_state`.
+
+        Like :meth:`load_state`, resets the previous-operation record;
+        callers resuming mid-trace must restore
+        :attr:`previous_operation` themselves.
+        """
+        self._cells = list(unpack_word(packed, self.size))
         self._previous = None
 
     @property

@@ -2,10 +2,14 @@
 
 * :mod:`repro.sim.placements` -- enumerating the cell-role placements a
   fault class must be detected under;
+* :mod:`repro.sim.batch` -- memoized placement/instance binding and the
+  bit-packed/chunking fast path shared by the oracles;
 * :mod:`repro.sim.engine` -- executing a march test against a faulty
   memory, including the up/down resolutions of ``⇕`` elements;
 * :mod:`repro.sim.coverage` -- the coverage oracle: does a march test
   detect every instance of every fault in a list?
+* :mod:`repro.sim.campaign` -- batched multi-test × multi-list ×
+  multi-geometry qualification, fanned out across processes.
 """
 
 from repro.sim.placements import role_placements, order_resolutions
@@ -14,7 +18,17 @@ from repro.sim.engine import (
     run_march,
     detects_instance,
 )
-from repro.sim.coverage import CoverageOracle, CoverageReport
+from repro.sim.coverage import (
+    CoverageOracle,
+    CoverageReport,
+    qualify_test,
+)
+from repro.sim.campaign import (
+    CampaignEntry,
+    CampaignJob,
+    CampaignResult,
+    CoverageCampaign,
+)
 
 __all__ = [
     "role_placements",
@@ -24,4 +38,9 @@ __all__ = [
     "detects_instance",
     "CoverageOracle",
     "CoverageReport",
+    "qualify_test",
+    "CampaignEntry",
+    "CampaignJob",
+    "CampaignResult",
+    "CoverageCampaign",
 ]

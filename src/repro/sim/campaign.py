@@ -1,0 +1,338 @@
+"""Parallel batched coverage campaigns.
+
+The paper's validation flow ("all generated Tests have been fault
+simulated", Section 1) qualifies one march test against one fault list
+at a time.  A :class:`CoverageCampaign` scales that up: it qualifies
+*many tests × many fault lists × many memory sizes × many LF3
+layouts* in one call, fanning the work out over processes with
+:class:`concurrent.futures.ProcessPoolExecutor`.
+
+Guarantees:
+
+* **determinism** -- results come back in job order (tests × lists ×
+  sizes × layouts) regardless of worker count or completion order;
+* **exactness** -- per-fault outcomes are independent of how a fault
+  list is partitioned, so a ``workers=N`` campaign reports exactly
+  what the serial oracle reports; ``workers=1`` *is* the serial path
+  (:func:`repro.sim.coverage.qualify_test`, no pool, no chunking).
+
+The work unit shipped to a worker is one ``(job, fault-chunk)`` pair;
+chunking is by fault (:func:`repro.sim.batch.auto_chunk_size`) so a
+single huge list still spreads across the pool.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.march.test import MarchTest
+from repro.sim.batch import auto_chunk_size, chunked
+from repro.sim.coverage import (
+    CoverageReport,
+    QualifyOutcome,
+    TargetFault,
+    qualify_outcomes,
+    qualify_test,
+    report_from_outcomes,
+)
+from repro.sim.placements import DEFAULT_MEMORY_SIZE, LF3_LAYOUTS
+
+
+@dataclass(frozen=True)
+class CampaignJob:
+    """One qualification unit: a test against a list in one geometry."""
+
+    test: MarchTest
+    fault_list: str
+    memory_size: int
+    lf3_layout: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.test.name} vs {self.fault_list} "
+            f"(n={self.memory_size}, lf3={self.lf3_layout})")
+
+
+@dataclass
+class CampaignEntry:
+    """A job together with its coverage report."""
+
+    job: CampaignJob
+    report: CoverageReport
+
+    def to_dict(self) -> dict:
+        """Timing-free, JSON-ready form (stable across worker counts).
+
+        This is the serialization the benchmark regression gate
+        compares byte-for-byte between serial and parallel runs.
+        """
+        return {
+            "test": self.job.test.name,
+            "notation": self.job.test.notation(ascii_only=True),
+            "fault_list": self.job.fault_list,
+            "memory_size": self.job.memory_size,
+            "lf3_layout": self.job.lf3_layout,
+            "total": self.report.total,
+            "coverage": self.report.coverage,
+            "complete": self.report.complete,
+            "contexts_simulated": self.report.contexts_simulated,
+            "detected": self.report.detected_names,
+            "escapes": [
+                {
+                    "fault": record.fault.name,
+                    "instance": record.instance.name,
+                    "resolution": list(record.resolution),
+                }
+                for record in self.report.escapes
+            ],
+        }
+
+
+@dataclass
+class CampaignResult:
+    """Deterministically ordered outcome of a campaign run."""
+
+    entries: List[CampaignEntry] = field(default_factory=list)
+    workers: int = 1
+    wall_seconds: float = 0.0
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def reports(self) -> List[CoverageReport]:
+        return [entry.report for entry in self.entries]
+
+    @property
+    def complete(self) -> bool:
+        """``True`` when every job reached 100 % coverage."""
+        return all(entry.report.complete for entry in self.entries)
+
+    @property
+    def contexts_simulated(self) -> int:
+        """Total (context, element, direction) simulations executed."""
+        return sum(
+            entry.report.contexts_simulated for entry in self.entries)
+
+    @property
+    def contexts_per_second(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.contexts_simulated / self.wall_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "workers": self.workers,
+            "wall_seconds": self.wall_seconds,
+            "contexts_simulated": self.contexts_simulated,
+            "contexts_per_second": self.contexts_per_second,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render(self) -> str:
+        """Plain-text result table (one row per job)."""
+        from repro.analysis.table import TextTable
+
+        table = TextTable([
+            "March Test", "O(n)", "Fault List", "n", "LF3", "Cov %",
+            "Detected", "Escaped",
+        ])
+        for entry in self.entries:
+            report = entry.report
+            table.add_row([
+                entry.job.test.name,
+                f"{entry.job.test.complexity}n",
+                entry.job.fault_list,
+                str(entry.job.memory_size),
+                entry.job.lf3_layout,
+                f"{100.0 * report.coverage:.1f}",
+                str(len(report.detected_names)),
+                str(len(report.escaped_faults)),
+            ])
+        return table.render()
+
+    def summary(self) -> str:
+        jobs = len(self.entries)
+        complete = sum(1 for e in self.entries if e.report.complete)
+        return (
+            f"{jobs} jobs ({complete} complete) in "
+            f"{self.wall_seconds:.2f}s with {self.workers} worker(s); "
+            f"{self.contexts_simulated} contexts "
+            f"({self.contexts_per_second:,.0f}/s)")
+
+
+class CoverageCampaign:
+    """Qualify many march tests over many fault lists, in parallel.
+
+    Args:
+        tests: the march tests to qualify (a single test is accepted).
+        fault_lists: either a mapping of label -> fault sequence, or a
+            bare fault sequence (labelled ``"faults"``).
+        memory_sizes: simulated memory sizes to sweep.
+        lf3_layouts: three-cell placement policies to sweep (see
+            :data:`repro.sim.placements.LF3_LAYOUTS`).
+        workers: process count.  ``1`` (default) runs today's serial
+            oracle path in-process -- no pool, no chunking; ``N > 1``
+            fans fault chunks out over a process pool with results
+            merged back in deterministic job order.
+        exhaustive_limit: ``⇕`` resolution threshold for the oracle.
+        chunk_size: faults per pool task (default: sized so each
+            worker gets roughly four chunks per job).
+    """
+
+    def __init__(
+        self,
+        tests: Union[MarchTest, Sequence[MarchTest]],
+        fault_lists: Union[
+            Mapping[str, Sequence[TargetFault]], Sequence[TargetFault]],
+        *,
+        memory_sizes: Sequence[int] = (DEFAULT_MEMORY_SIZE,),
+        lf3_layouts: Sequence[str] = ("straddle",),
+        workers: int = 1,
+        exhaustive_limit: int = 6,
+        chunk_size: Optional[int] = None,
+    ):
+        if isinstance(tests, MarchTest):
+            tests = [tests]
+        self.tests: List[MarchTest] = list(tests)
+        if not self.tests:
+            raise ValueError("a campaign needs at least one march test")
+        if isinstance(fault_lists, Mapping):
+            self.fault_lists: Dict[str, List[TargetFault]] = {
+                label: list(faults)
+                for label, faults in fault_lists.items()
+            }
+        else:
+            self.fault_lists = {"faults": list(fault_lists)}
+        if not self.fault_lists:
+            raise ValueError("a campaign needs at least one fault list")
+        for label, faults in self.fault_lists.items():
+            if not faults:
+                raise ValueError(f"fault list {label!r} is empty")
+        self.memory_sizes = tuple(memory_sizes)
+        if not self.memory_sizes:
+            raise ValueError("a campaign needs at least one memory size")
+        widest_per_list = {
+            label: max(fault.cells for fault in faults)
+            for label, faults in self.fault_lists.items()
+        }
+        for size in self.memory_sizes:
+            if size < 1:
+                raise ValueError(f"memory size {size} must be positive")
+            for label, widest in widest_per_list.items():
+                if size < widest:
+                    raise ValueError(
+                        f"memory size {size} cannot host the "
+                        f"{widest}-cell faults of list {label!r}")
+        for layout in lf3_layouts:
+            if layout not in LF3_LAYOUTS:
+                raise ValueError(
+                    f"unknown LF3 layout {layout!r}; "
+                    f"choose from {LF3_LAYOUTS}")
+        self.lf3_layouts = tuple(lf3_layouts)
+        if not self.lf3_layouts:
+            raise ValueError("a campaign needs at least one LF3 layout")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.exhaustive_limit = exhaustive_limit
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.chunk_size = chunk_size
+
+    def jobs(self) -> List[CampaignJob]:
+        """The campaign's work units, in deterministic result order."""
+        return [
+            CampaignJob(test, label, memory_size, lf3_layout)
+            for test in self.tests
+            for label in self.fault_lists
+            for memory_size in self.memory_sizes
+            for lf3_layout in self.lf3_layouts
+        ]
+
+    def run(self) -> CampaignResult:
+        """Execute every job; see the class docstring for guarantees."""
+        start = perf_counter()
+        jobs = self.jobs()
+        if self.workers == 1:
+            entries = [
+                CampaignEntry(job, self._qualify_serial(job))
+                for job in jobs
+            ]
+        else:
+            entries = self._run_parallel(jobs)
+        return CampaignResult(
+            entries=entries,
+            workers=self.workers,
+            wall_seconds=perf_counter() - start,
+        )
+
+    # ------------------------------------------------------------------
+    # Execution paths
+    # ------------------------------------------------------------------
+    def _qualify_serial(self, job: CampaignJob) -> CoverageReport:
+        return qualify_test(
+            job.test,
+            self.fault_lists[job.fault_list],
+            job.memory_size,
+            self.exhaustive_limit,
+            job.lf3_layout,
+        )
+
+    def _run_parallel(
+        self, jobs: List[CampaignJob]
+    ) -> List[CampaignEntry]:
+        """Fan fault chunks out over a process pool, merge in order."""
+        job_chunks: List[List[List[TargetFault]]] = []
+        for job in jobs:
+            faults = self.fault_lists[job.fault_list]
+            size = self.chunk_size or auto_chunk_size(
+                len(faults), self.workers)
+            job_chunks.append(list(chunked(faults, size)))
+        # qualify_outcomes is the worker body: module-level in
+        # repro.sim.coverage, so worker processes import it by
+        # qualified name; chunk order is preserved so the parent can
+        # zip outcomes back against its own fault objects.
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures = [
+                [
+                    pool.submit(
+                        qualify_outcomes, job.test, chunk,
+                        job.memory_size, self.exhaustive_limit,
+                        job.lf3_layout)
+                    for chunk in chunks
+                ]
+                for job, chunks in zip(jobs, job_chunks)
+            ]
+            entries = []
+            for job, job_futures in zip(jobs, futures):
+                outcomes: List[QualifyOutcome] = []
+                contexts = 0
+                for future in job_futures:
+                    chunk_outcomes, chunk_contexts = future.result()
+                    outcomes.extend(chunk_outcomes)
+                    contexts += chunk_contexts
+                entries.append(CampaignEntry(
+                    job, self._merge(job, outcomes, contexts)))
+        return entries
+
+    def _merge(
+        self,
+        job: CampaignJob,
+        outcomes: List[QualifyOutcome],
+        contexts: int,
+    ) -> CoverageReport:
+        """Reassemble a serial-identical report from chunk outcomes."""
+        return report_from_outcomes(
+            job.test.name, self.fault_lists[job.fault_list],
+            outcomes, contexts)

@@ -20,16 +20,14 @@ from typing import Dict, List, Sequence, Set, Tuple, Union
 
 from repro.faults.linked import LinkedFault
 from repro.faults.primitives import FaultPrimitive
-from repro.faults.values import CellState
+from repro.faults.values import DONT_CARE, pack_word
 from repro.march.element import AddressOrder, MarchElement
 from repro.march.test import MarchTest
 from repro.memory.injection import FaultInstance
 from repro.memory.sram import FaultyMemory
+from repro.sim.batch import cached_instances
 from repro.sim.engine import detects_instance, run_element
-from repro.sim.placements import (
-    DEFAULT_MEMORY_SIZE,
-    role_placements,
-)
+from repro.sim.placements import DEFAULT_MEMORY_SIZE
 
 #: A coverage target: either a linked fault or a simple fault primitive.
 TargetFault = Union[LinkedFault, FaultPrimitive]
@@ -52,21 +50,11 @@ def make_instances(
 
     Placement tuples order roles with the victim last (matching
     :attr:`LinkedFault.role_labels`); for simple two-cell primitives the
-    tuple is ``(aggressor, victim)``.
+    tuple is ``(aggressor, victim)``.  The binding itself is memoized
+    (:func:`repro.sim.batch.cached_instances`); callers get a fresh
+    list over the shared frozen instances.
     """
-    instances: List[FaultInstance] = []
-    for cells in role_placements(
-            fault_cells(fault), memory_size, lf3_layout):
-        if isinstance(fault, LinkedFault):
-            instances.append(FaultInstance.from_linked(fault, cells))
-        else:
-            if fault.cells == 1:
-                instances.append(FaultInstance.from_simple(
-                    fault, victim=cells[0]))
-            else:
-                instances.append(FaultInstance.from_simple(
-                    fault, victim=cells[1], aggressor=cells[0]))
-    return instances
+    return list(cached_instances(fault, memory_size, lf3_layout))
 
 
 @dataclass
@@ -84,15 +72,54 @@ class EscapeRecord:
 
 @dataclass
 class CoverageReport:
-    """Outcome of qualifying one march test against a fault list."""
+    """Outcome of qualifying one march test against a fault list.
+
+    All accounting is per fault *target* (distinct fault name): a list
+    that names the same fault twice still poses one target, so
+    :attr:`total` is a pure function of the fault list -- the same
+    list yields the same denominator for every march test.  A target
+    counts as detected only when **every** occurrence of its name was
+    detected (escapes win ties), keeping
+    ``total == len(detected_names) + len(escaped_faults)``.
+
+    Attributes:
+        test_name: name of the qualified march test.
+        detected: every detected fault, in fault-list order (duplicates
+            preserved; use :attr:`detected_names` for target counting).
+        escapes: one witness record per escaping fault occurrence.
+        contexts_simulated: number of (context, element, direction)
+            simulations the qualification ran -- the campaign engine's
+            throughput denominator.
+    """
 
     test_name: str
     detected: List[TargetFault] = field(default_factory=list)
     escapes: List[EscapeRecord] = field(default_factory=list)
+    contexts_simulated: int = 0
+
+    @property
+    def detected_names(self) -> List[str]:
+        """Distinct fully-detected fault names, first-occurrence order.
+
+        A name with any escaping occurrence is excluded: the target is
+        not covered.
+        """
+        escaped = {fault_name(r.fault) for r in self.escapes}
+        seen: Set[str] = set()
+        names = []
+        for fault in self.detected:
+            name = fault_name(fault)
+            if name not in escaped and name not in seen:
+                seen.add(name)
+                names.append(name)
+        return names
 
     @property
     def total(self) -> int:
-        return len(self.detected) + len(self.escaped_faults)
+        """Number of distinct fault targets the test was tried on."""
+        names = {fault_name(f) for f in self.detected}
+        names.update(fault_name(r.fault) for r in self.escapes)
+        return len(names)
 
     @property
     def escaped_faults(self) -> List[TargetFault]:
@@ -109,7 +136,7 @@ class CoverageReport:
         """Fault coverage in [0, 1]."""
         if self.total == 0:
             return 1.0
-        return len(self.detected) / self.total
+        return len(self.detected_names) / self.total
 
     @property
     def complete(self) -> bool:
@@ -118,8 +145,8 @@ class CoverageReport:
 
     def summary(self) -> str:
         return (
-            f"{self.test_name}: {len(self.detected)}/{self.total} faults "
-            f"({100.0 * self.coverage:.1f} %)")
+            f"{self.test_name}: {len(self.detected_names)}/{self.total} "
+            f"faults ({100.0 * self.coverage:.1f} %)")
 
     def __str__(self) -> str:
         return self.summary()
@@ -168,32 +195,111 @@ class CoverageOracle:
         )
 
     def evaluate(self, test: MarchTest) -> CoverageReport:
-        """Qualify *test* against the whole fault list."""
-        report = CoverageReport(test_name=test.name)
-        incremental = IncrementalCoverage(
-            self.faults, self.memory_size, self.exhaustive_limit,
+        """Qualify *test* against the whole fault list.
+
+        Delegates to :func:`qualify_test`, the same code path the
+        campaign engine runs serially and fans out across processes --
+        so oracle, serial-campaign and parallel-campaign reports are
+        interchangeable.
+        """
+        return qualify_test(
+            test, self.faults, self.memory_size, self.exhaustive_limit,
             self.lf3_layout)
-        for element in test.elements:
-            incremental.append(element)
-        covered = incremental.covered_names()
-        for fault in self.faults:
-            if fault_name(fault) in covered:
-                report.detected.append(fault)
-            else:
-                witness = incremental.witness(fault_name(fault))
-                report.escapes.append(EscapeRecord(
-                    fault, witness[0], witness[1]))
-        return report
+
+
+#: Per-fault qualification outcome: ``(detected, witness_instance,
+#: witness_resolution)`` -- the witness fields are ``None`` when
+#: detected.
+QualifyOutcome = Tuple[
+    bool, Union[FaultInstance, None], Union[Tuple[bool, ...], None]]
+
+
+def qualify_outcomes(
+    test: MarchTest,
+    faults: Sequence[TargetFault],
+    memory_size: int = DEFAULT_MEMORY_SIZE,
+    exhaustive_limit: int = 6,
+    lf3_layout: str = "straddle",
+) -> Tuple[List[QualifyOutcome], int]:
+    """Per-fault outcomes of qualifying *test*, in fault-list order.
+
+    The single source of truth for qualification semantics: both the
+    serial report (:func:`qualify_test`, backing
+    :meth:`CoverageOracle.evaluate`) and every campaign worker chunk
+    are assembled from these outcomes.  Classification is by fault
+    *index*, never name, so two distinct faults sharing a name cannot
+    mask each other and per-fault outcomes are independent of how the
+    list is partitioned -- which is what makes the parallel fan-out
+    exact.
+
+    Returns:
+        ``(outcomes, contexts_simulated)`` with one outcome per fault.
+    """
+    incremental = IncrementalCoverage(
+        faults, memory_size, exhaustive_limit, lf3_layout)
+    for element in test.elements:
+        incremental.append(element)
+    covered = incremental.covered_indexes()
+    outcomes: List[QualifyOutcome] = []
+    for index in range(len(faults)):
+        if index in covered:
+            outcomes.append((True, None, None))
+        else:
+            instance, resolution = incremental.witness_for(index)
+            outcomes.append((False, instance, resolution))
+    return outcomes, incremental.contexts_simulated
+
+
+def report_from_outcomes(
+    test_name: str,
+    faults: Sequence[TargetFault],
+    outcomes: Sequence[QualifyOutcome],
+    contexts_simulated: int,
+) -> CoverageReport:
+    """Assemble a coverage report from per-fault outcomes.
+
+    Shared by the serial path (:func:`qualify_test`) and the campaign
+    engine's parallel merge, so the serial/parallel byte-identity
+    guarantee cannot drift between two copies of this loop.
+    """
+    report = CoverageReport(test_name=test_name)
+    for fault, (detected, instance, resolution) in zip(faults, outcomes):
+        if detected:
+            report.detected.append(fault)
+        else:
+            report.escapes.append(
+                EscapeRecord(fault, instance, resolution))
+    report.contexts_simulated = contexts_simulated
+    return report
+
+
+def qualify_test(
+    test: MarchTest,
+    faults: Sequence[TargetFault],
+    memory_size: int = DEFAULT_MEMORY_SIZE,
+    exhaustive_limit: int = 6,
+    lf3_layout: str = "straddle",
+) -> CoverageReport:
+    """Qualify one march test against one fault list, serially."""
+    outcomes, contexts = qualify_outcomes(
+        test, faults, memory_size, exhaustive_limit, lf3_layout)
+    return report_from_outcomes(test.name, faults, outcomes, contexts)
 
 
 @dataclass
 class _Context:
-    """One (fault, instance, resolution-prefix) simulation context."""
+    """One (fault, instance, resolution-prefix) simulation context.
+
+    ``snapshot`` is the bit-packed memory word
+    (:func:`repro.faults.values.pack_word`): an int hashes, compares
+    and copies faster than a tuple of mixed cell states, and the dedup
+    set below is on the hot path.
+    """
 
     fault_index: int
     instance: FaultInstance
     resolution: Tuple[bool, ...]
-    snapshot: Tuple[CellState, ...]
+    snapshot: int
     previous: object = None  # PreviousOperation pairing state
 
 
@@ -221,12 +327,24 @@ class IncrementalCoverage:
         self._pending: List[_Context] = []
         self._pending_per_fault: Dict[int, int] = {}
         self._covered: Set[int] = set()
+        #: One reusable memory per bound instance: reloading a packed
+        #: snapshot is much cheaper than re-running ``FaultyMemory``
+        #: construction (fault validation, primitive partitioning) for
+        #: every pending context of every element.  Keyed by object
+        #: identity, not name: distinct faults sharing a display name
+        #: produce identically-named instances, and handing one the
+        #: other's memory would silently swap their fault behaviour.
+        #: Ids are stable because each pooled memory holds a strong
+        #: reference to its instance (``FaultyMemory.fault``) for as
+        #: long as the pool entry exists.
+        self._memories: Dict[int, FaultyMemory] = {}
+        self.contexts_simulated = 0
+        blank = pack_word((DONT_CARE,) * memory_size)
         for index, fault in enumerate(self.faults):
-            instances = make_instances(fault, memory_size, lf3_layout)
+            instances = cached_instances(fault, memory_size, lf3_layout)
             for instance in instances:
-                fresh = FaultyMemory(memory_size, instance)
                 self._pending.append(_Context(
-                    index, instance, (), fresh.state()))
+                    index, instance, (), blank))
             self._pending_per_fault[index] = len(instances)
 
     # ------------------------------------------------------------------
@@ -244,6 +362,10 @@ class IncrementalCoverage:
         """Names of fully covered faults."""
         return {fault_name(self.faults[i]) for i in self._covered}
 
+    def covered_indexes(self) -> Set[int]:
+        """Indexes (into the fault list) of fully covered faults."""
+        return set(self._covered)
+
     def uncovered(self) -> List[TargetFault]:
         """Faults with at least one undetected context."""
         return [
@@ -259,6 +381,15 @@ class IncrementalCoverage:
             if fault_name(self.faults[ctx.fault_index]) == name:
                 return ctx.instance, ctx.resolution
         raise KeyError(f"fault {name!r} has no pending context")
+
+    def witness_for(
+        self, index: int
+    ) -> Tuple[FaultInstance, Tuple[bool, ...]]:
+        """An escaping (instance, resolution) pair for fault *index*."""
+        for ctx in self._pending:
+            if ctx.fault_index == index:
+                return ctx.instance, ctx.resolution
+        raise KeyError(f"fault index {index} has no pending context")
 
     # ------------------------------------------------------------------
     # Advancing
@@ -322,10 +453,11 @@ class IncrementalCoverage:
             directions = (False, True)
         survivors: List[_Context] = []
         for ctx in pending:
+            memory = self._memory_for(ctx.instance)
             for descending in directions:
-                memory = FaultyMemory(self.memory_size, ctx.instance)
-                memory.load_state(ctx.snapshot)
+                memory.load_packed(ctx.snapshot)
                 memory.previous_operation = ctx.previous
+                self.contexts_simulated += 1
                 site = run_element(
                     element, self._element_count, memory, descending)
                 if site is not None:
@@ -335,10 +467,18 @@ class IncrementalCoverage:
                     ctx.instance,
                     ctx.resolution + ((descending,)
                                       if len(directions) == 2 else ()),
-                    memory.state(),
+                    memory.packed_state(),
                     memory.previous_operation,
                 ))
         return survivors
+
+    def _memory_for(self, instance: FaultInstance) -> FaultyMemory:
+        """The pooled reusable memory bound to *instance*."""
+        memory = self._memories.get(id(instance))
+        if memory is None:
+            memory = FaultyMemory(self.memory_size, instance)
+            self._memories[id(instance)] = memory
+        return memory
 
     @staticmethod
     def _dedup(contexts: List[_Context]) -> List[_Context]:

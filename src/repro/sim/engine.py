@@ -18,7 +18,7 @@ from repro.march.element import AddressOrder, MarchElement
 from repro.march.test import MarchTest
 from repro.memory.injection import FaultInstance
 from repro.memory.sram import FaultyMemory
-from repro.sim.placements import order_resolutions
+from repro.sim.batch import cached_order_resolutions
 
 
 @dataclass(frozen=True)
@@ -130,7 +130,7 @@ def detects_instance(
     """
     any_count = sum(
         1 for el in test.elements if el.order is AddressOrder.ANY)
-    for resolution in order_resolutions(any_count, exhaustive_limit):
+    for resolution in cached_order_resolutions(any_count, exhaustive_limit):
         memory = FaultyMemory(memory_size, fault)
         if run_march(test, memory, resolution) is None:
             return False
@@ -152,7 +152,7 @@ def escape_sites(
     any_count = sum(
         1 for el in test.elements if el.order is AddressOrder.ANY)
     outcomes = []
-    for resolution in order_resolutions(any_count, exhaustive_limit):
+    for resolution in cached_order_resolutions(any_count, exhaustive_limit):
         memory = FaultyMemory(memory_size, fault)
         outcomes.append((resolution, run_march(test, memory, resolution)))
     return outcomes

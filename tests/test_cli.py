@@ -18,6 +18,8 @@ class TestParser:
             ["coverage", "March SL"],
             ["simulate", "c(w0) c(r0)"],
             ["generate", "--fault-list", "2"],
+            ["campaign", "--fault-lists", "1", "2", "--workers", "4",
+             "--sizes", "3", "4"],
             ["table1"],
             ["matrix"],
             ["figure", "--which", "pgcf"],

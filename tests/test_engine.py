@@ -1,7 +1,5 @@
 """Unit tests for march execution and detection (sim.engine)."""
 
-import pytest
-
 from repro.faults.library import fp_by_name
 from repro.faults.linked import LinkedFault, Topology
 from repro.march.test import parse_march

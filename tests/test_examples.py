@@ -4,6 +4,7 @@ The slow Table-1 reproduction example is exercised by the benchmark
 harness instead; these cover the four fast walkthroughs.
 """
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -11,14 +12,23 @@ import sys
 import pytest
 
 EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+SRC = pathlib.Path(__file__).parent.parent / "src"
 
 
 def run_example(name: str) -> subprocess.CompletedProcess:
+    # The child process does not inherit pytest's ``pythonpath`` ini
+    # setting, so put src/ on its PYTHONPATH explicitly: the examples
+    # must run from a fresh checkout without an installed package.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH")
+                      else []))
     return subprocess.run(
         [sys.executable, str(EXAMPLES / name)],
         capture_output=True,
         text=True,
         timeout=600,
+        env=env,
     )
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.faults.operations import read, wait, write
+from repro.faults.operations import read, write
 from repro.march.element import (
     AddressOrder,
     MarchElement,

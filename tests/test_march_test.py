@@ -4,7 +4,7 @@ import pytest
 
 from repro.faults.operations import read, write
 from repro.faults.values import DONT_CARE
-from repro.march.element import AddressOrder, MarchElement, element
+from repro.march.element import AddressOrder, element
 from repro.march.test import (
     MarchConsistencyError,
     MarchTest,

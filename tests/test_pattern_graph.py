@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.dot import figure4_linked_fault, pgcf_example_graph
+from repro.analysis.dot import pgcf_example_graph
 from repro.core.pattern_graph import PatternGraph
 from repro.faults.library import fp_by_name
 from repro.faults.linked import LinkedFault, Topology

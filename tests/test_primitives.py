@@ -3,7 +3,7 @@
 import pytest
 
 from repro.faults.library import fp_by_name
-from repro.faults.operations import OpKind, read, write
+from repro.faults.operations import OpKind, write
 from repro.faults.primitives import (
     AGGRESSOR,
     FaultClass,

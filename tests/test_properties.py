@@ -2,7 +2,6 @@
 invariants."""
 
 import hypothesis.strategies as st
-import pytest
 from hypothesis import HealthCheck, given, settings
 
 from repro.faults.library import ALL_FPS, SINGLE_CELL_FPS, TWO_CELL_FPS
