@@ -6,21 +6,32 @@ Runs the same multi-test coverage-campaign workload twice -- serial
 fan-out) -- and writes ``BENCH_campaign.json`` with wall time,
 contexts/second and an entry-by-entry identity verdict.
 
+With ``--sizes N N N`` (e.g. ``--sizes 3 64 256``) the script
+additionally runs the **sparse-kernel scaling sweep**: the same
+workload per memory size, once on the dense every-cell kernel and
+once on the sparse bound-cell kernel, writing per-size wall time,
+contexts/second, the sparse/dense speedup and an identity verdict to
+``BENCH_sparse.json`` (``--sparse-out``).
+
 As a CI gate (``--gate``) the script fails when:
 
 * the parallel campaign's reports differ from the serial ones in any
   way (this must never happen, on any machine), or
 * the machine has at least ``--gate-cores`` cores (default 4) and the
   parallel run is slower than ``--min-speedup`` × serial (default
-  1.0) on the chosen workload.
-
-The speed leg is skipped (with a note in the JSON) on smaller
-machines, where pool overhead legitimately dominates.
+  1.0) on the chosen workload, or
+* (with ``--sizes``) the sparse and dense kernels diverge at any size
+  (never acceptable, on any machine), or
+* (with ``--sizes``) the sparse kernel fails to beat the dense kernel
+  by ``--min-sparse-speedup`` (default 1.0) at any size >=
+  ``--sparse-gate-size`` (default 64).  Unlike the pool-speedup leg
+  this applies on **any** core count: the win is algorithmic
+  (O(bound cells) vs O(size) per element sweep), not parallelism.
 
 Usage::
 
     python benchmarks/bench_campaign.py --workload smoke --gate \
-        --out BENCH_campaign.json
+        --sizes 3 64 256 --out BENCH_campaign.json
 """
 
 from __future__ import annotations
@@ -69,9 +80,33 @@ def _workload(name: str) -> Dict[str, object]:
                      f"choose from tiny, smoke, full")
 
 
-def _run(workload: Dict[str, object], workers: int) -> CampaignResult:
+def _sweep_workload() -> Dict[str, object]:
+    """Tests and fault lists for the sparse scaling sweep.
+
+    Every known march test against the full single-cell list plus an
+    evenly spaced Fault List #1 slice (keeping two- and three-cell
+    placements in play) -- small enough that the dense kernel stays
+    affordable at memory size 256, big enough to exercise every fault
+    family.
+    """
+    return {
+        "tests": [km.test for km in ALL_KNOWN.values()],
+        "fault_lists": {
+            "FL#2": list(fault_list_2()),
+            "FL#1[::20]": list(fault_list_1()[::20]),
+        },
+    }
+
+
+def _run(
+    workload: Dict[str, object],
+    workers: int,
+    memory_sizes: Sequence[int] = (3,),
+    backend: str = "auto",
+) -> CampaignResult:
     campaign = CoverageCampaign(
-        workload["tests"], workload["fault_lists"], workers=workers)
+        workload["tests"], workload["fault_lists"], workers=workers,
+        memory_sizes=tuple(memory_sizes), backend=backend)
     return campaign.run()
 
 
@@ -112,6 +147,44 @@ def run_benchmark(
     }
 
 
+def run_sparse_sweep(
+    sizes: Sequence[int],
+    sparse_gate_size: int,
+    min_sparse_speedup: float,
+) -> Dict[str, object]:
+    """Dense-vs-sparse scaling sweep over *sizes*; gate-ready payload."""
+    workload = _sweep_workload()
+    entries = []
+    for size in sizes:
+        dense = _run(workload, workers=1, memory_sizes=(size,),
+                     backend="dense")
+        sparse = _run(workload, workers=1, memory_sizes=(size,),
+                      backend="sparse")
+        identical = (
+            [entry.to_dict() for entry in dense.entries]
+            == [entry.to_dict() for entry in sparse.entries])
+        speedup = (
+            dense.wall_seconds / sparse.wall_seconds
+            if sparse.wall_seconds > 0 else float("inf"))
+        entries.append({
+            "memory_size": size,
+            "dense": _timing(dense),
+            "sparse": _timing(sparse),
+            "speedup": speedup,
+            "identical": identical,
+            "speed_gate_applies": size >= sparse_gate_size,
+        })
+    return {
+        "workload": "sweep",
+        "jobs_per_size": (
+            len(workload["tests"]) * len(workload["fault_lists"])),
+        "sizes": list(sizes),
+        "sparse_gate_size": sparse_gate_size,
+        "min_sparse_speedup": min_sparse_speedup,
+        "entries": entries,
+    }
+
+
 def gate(payload: Dict[str, object]) -> List[str]:
     """Regression-gate verdict: a list of failure messages (empty=pass)."""
     failures = []
@@ -126,6 +199,26 @@ def gate(payload: Dict[str, object]) -> List[str]:
             f"speedup {payload['speedup']:.2f}x < "
             f"{payload['min_speedup']:.2f}x on {payload['cpu_count']} "
             f"cores")
+    return failures
+
+
+def sparse_gate(payload: Dict[str, object]) -> List[str]:
+    """Sweep-gate verdict: divergence always fails; the speed leg
+    applies at every size >= the gate size, on any core count."""
+    failures = []
+    for entry in payload["entries"]:
+        size = entry["memory_size"]
+        if not entry["identical"]:
+            failures.append(
+                f"sparse and dense kernels DIVERGE at memory size "
+                f"{size} -- the sparse kernel is not exact")
+        if entry["speed_gate_applies"] \
+                and entry["speedup"] < payload["min_sparse_speedup"]:
+            failures.append(
+                f"sparse kernel fails to beat dense at memory size "
+                f"{size}: speedup {entry['speedup']:.2f}x < "
+                f"{payload['min_sparse_speedup']:.2f}x (the win must "
+                f"be algorithmic, independent of core count)")
     return failures
 
 
@@ -147,6 +240,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--min-speedup", type=float, default=1.0,
                         help="required parallel-vs-serial speedup when "
                              "the speed gate applies")
+    parser.add_argument("--sizes", nargs="+", type=int, metavar="N",
+                        help="also run the sparse-vs-dense kernel "
+                             "scaling sweep at these memory sizes "
+                             "(e.g. --sizes 3 64 256), writing "
+                             "--sparse-out")
+    parser.add_argument("--sparse-out", default="BENCH_sparse.json",
+                        help="output JSON path for the scaling sweep")
+    parser.add_argument("--sparse-gate-size", type=int, default=64,
+                        help="apply the sparse speed leg at every "
+                             "swept size >= this (on any core count)")
+    parser.add_argument("--min-sparse-speedup", type=float, default=1.0,
+                        help="required sparse-vs-dense speedup at "
+                             "gated sizes")
     args = parser.parse_args(argv)
 
     payload = run_benchmark(
@@ -174,8 +280,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               f"identity check still enforced)")
     print(f"report written to {args.out}")
 
+    sparse_payload = None
+    if args.sizes:
+        sparse_payload = run_sparse_sweep(
+            args.sizes, args.sparse_gate_size, args.min_sparse_speedup)
+        with open(args.sparse_out, "w") as handle:
+            json.dump(sparse_payload, handle, indent=2)
+            handle.write("\n")
+        print(f"sparse kernel sweep "
+              f"({sparse_payload['jobs_per_size']} jobs per size):")
+        for entry in sparse_payload["entries"]:
+            gated = "gated" if entry["speed_gate_applies"] else "info"
+            print(f"  n={entry['memory_size']:<5d} "
+                  f"dense={entry['dense']['wall_seconds']:.2f}s "
+                  f"sparse={entry['sparse']['wall_seconds']:.2f}s "
+                  f"speedup={entry['speedup']:.1f}x "
+                  f"identical={entry['identical']} [{gated}]")
+        print(f"sparse sweep report written to {args.sparse_out}")
+
     if args.gate:
         failures = gate(payload)
+        if sparse_payload is not None:
+            failures += sparse_gate(sparse_payload)
         for failure in failures:
             print(f"GATE FAILURE: {failure}", file=sys.stderr)
         if failures:

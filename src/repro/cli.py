@@ -99,7 +99,8 @@ def _cmd_known(args: argparse.Namespace) -> int:
 def _cmd_coverage(args: argparse.Namespace) -> int:
     km = known_march(args.test)
     faults = _fault_list(args.fault_list)
-    oracle = CoverageOracle(faults, lf3_layout=args.lf3_layout)
+    oracle = CoverageOracle(
+        faults, lf3_layout=args.lf3_layout, backend=args.backend)
     report = oracle.evaluate(km.test)
     print(report.summary())
     if not report.complete and args.verbose:
@@ -112,7 +113,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     test = parse_march(args.notation, name="cli march")
     test.check_consistency()
     faults = _fault_list(args.fault_list)
-    oracle = CoverageOracle(faults, lf3_layout=args.lf3_layout)
+    oracle = CoverageOracle(
+        faults, lf3_layout=args.lf3_layout, backend=args.backend)
     report = oracle.evaluate(test)
     print(test.describe())
     print(report.summary())
@@ -147,6 +149,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             memory_sizes=tuple(args.sizes),
             lf3_layouts=tuple(args.lf3_layouts),
             workers=args.workers,
+            backend=args.backend,
         )
     except ValueError as error:
         raise SystemExit(f"invalid campaign: {error}")
@@ -182,6 +185,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             prune=not args.no_prune,
             allowed_orders=allowed_orders,
             workers=args.workers,
+            backend=args.backend,
         )
     except ValueError as error:
         raise SystemExit(f"invalid generator configuration: {error}")
@@ -231,6 +235,19 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--backend`` simulation-kernel selector."""
+    parser.add_argument(
+        "--backend", default="auto", choices=("auto", "sparse", "dense"),
+        help="simulation kernel: 'sparse' simulates only a fault's "
+             "bound cells plus one representative per homogeneous "
+             "segment (cost independent of memory size), 'dense' "
+             "walks every cell; 'auto' (default) picks sparse "
+             "whenever the fault semantics allow and the memory size "
+             "makes it pay (>= 4) -- reports are byte-identical "
+             "either way")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``repro-march`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -252,6 +269,7 @@ def build_parser() -> argparse.ArgumentParser:
     coverage.add_argument("--fault-list", default="1")
     coverage.add_argument("--lf3-layout", default="straddle",
                           choices=("straddle", "all"))
+    _add_backend_argument(coverage)
     coverage.add_argument("--verbose", action="store_true")
     coverage.set_defaults(func=_cmd_coverage)
 
@@ -262,6 +280,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--fault-list", default="1")
     simulate.add_argument("--lf3-layout", default="straddle",
                           choices=("straddle", "all"))
+    _add_backend_argument(simulate)
     simulate.add_argument("--verbose", action="store_true")
     simulate.set_defaults(func=_cmd_simulate)
 
@@ -286,6 +305,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="processes for the final qualification step (default 1; "
              "N>1 fans the fault list out over a process pool with "
              "results identical to the serial run)")
+    _add_backend_argument(generate)
     generate.add_argument("--verbose", action="store_true")
     generate.set_defaults(func=_cmd_generate)
 
@@ -326,6 +346,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--json", metavar="PATH",
         help="also write the full campaign report as JSON")
+    _add_backend_argument(campaign)
     campaign.add_argument("--verbose", action="store_true")
     campaign.set_defaults(func=_cmd_campaign)
 

@@ -51,6 +51,7 @@ from repro.sim.coverage import (
     make_instances,
 )
 from repro.sim.placements import DEFAULT_MEMORY_SIZE
+from repro.sim.sparse import BACKENDS
 
 #: Canonical march-element shapes, as (kind, relative-value) pairs where
 #: relative value 0 is the element's entry state ``m`` and 1 is its
@@ -184,6 +185,11 @@ class MarchGenerator:
             paper's "all generated Tests have been fault simulated"),
             run through :class:`~repro.sim.campaign.CoverageCampaign`.
             ``1`` keeps everything in-process.
+        backend: simulation backend selector for candidate probing,
+            pruning and final qualification (``"auto"`` default; see
+            :data:`repro.sim.sparse.BACKENDS`).  Backends are
+            report-identical, so the generated march test does not
+            depend on the choice.
     """
 
     def __init__(
@@ -200,6 +206,7 @@ class MarchGenerator:
         max_elements: int = 30,
         exhaustive_limit: int = 6,
         workers: int = 1,
+        backend: str = "auto",
     ):
         if not faults:
             raise ValueError("the target fault list is empty")
@@ -226,6 +233,11 @@ class MarchGenerator:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown simulation backend {backend!r}; "
+                f"choose from {BACKENDS}")
+        self.backend = backend
         self._all_single_cell = all(
             fault_cells(f) == 1 for f in self.faults)
 
@@ -237,7 +249,7 @@ class MarchGenerator:
         start = time.perf_counter()
         oracle = IncrementalCoverage(
             self.faults, self.memory_size, self.exhaustive_limit,
-            self.lf3_layout)
+            self.lf3_layout, self.backend)
         init_order = AddressOrder.ANY
         if self.allowed_orders is not None \
                 and AddressOrder.ANY not in self.allowed_orders:
@@ -268,7 +280,7 @@ class MarchGenerator:
         if self.prune_enabled:
             batch = CoverageOracle(
                 self.faults, self.memory_size, self.exhaustive_limit,
-                self.lf3_layout)
+                self.lf3_layout, self.backend)
             prune_result = prune_march(
                 unpruned, batch,
                 generalize_orders=self.generalize_orders)
@@ -300,7 +312,8 @@ class MarchGenerator:
             memory_sizes=(self.memory_size,),
             lf3_layouts=(self.lf3_layout,),
             workers=self.workers,
-            exhaustive_limit=self.exhaustive_limit)
+            exhaustive_limit=self.exhaustive_limit,
+            backend=self.backend)
         return campaign.run().entries[0].report
 
     # ------------------------------------------------------------------

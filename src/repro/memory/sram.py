@@ -23,7 +23,7 @@ Operational semantics (DESIGN.md §3.1):
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, NamedTuple, Optional, Tuple
 
 from repro.faults.operations import OpKind
 from repro.faults.primitives import PreviousOperation, VICTIM
@@ -35,6 +35,44 @@ from repro.faults.values import (
     unpack_word,
 )
 from repro.memory.injection import BoundPrimitive, FaultInstance
+
+
+class PartitionedPrimitives(NamedTuple):
+    """A fault instance's bound primitives split by sensitization kind.
+
+    The split is what every simulation backend executes directly:
+    *operation* primitives are matched against individual memory
+    operations, *state* primitives are standing conditions settled
+    after every operation.  Exposed so alternative kernels (see
+    :mod:`repro.sim.sparse`) can compile an instance without
+    re-deriving the partition.
+    """
+
+    all: Tuple[BoundPrimitive, ...]
+    state: Tuple[BoundPrimitive, ...]
+    operation: Tuple[BoundPrimitive, ...]
+
+    @property
+    def wait_sensitized(self) -> Tuple[BoundPrimitive, ...]:
+        """The operation primitives sensitized by the wait ``t``."""
+        return tuple(
+            bp for bp in self.operation if bp.fp.op.is_wait)
+
+
+def partition_primitives(
+    fault: Optional[FaultInstance],
+) -> PartitionedPrimitives:
+    """Split *fault*'s bound primitives into state/operation groups.
+
+    ``None`` (a golden memory) partitions into empty groups.
+    """
+    primitives: Tuple[BoundPrimitive, ...] = (
+        fault.primitives if fault is not None else ())
+    return PartitionedPrimitives(
+        all=primitives,
+        state=tuple(bp for bp in primitives if bp.fp.op is None),
+        operation=tuple(bp for bp in primitives if bp.fp.op is not None),
+    )
 
 
 class FaultyMemory:
@@ -57,14 +95,22 @@ class FaultyMemory:
                 f"outside a memory of {size} cells")
         self.size = size
         self.fault = fault
-        self._cells: List[CellState] = [DONT_CARE] * size
         self._previous: Optional[PreviousOperation] = None
-        self._primitives: Tuple[BoundPrimitive, ...] = (
-            fault.primitives if fault is not None else ())
-        self._state_primitives = tuple(
-            bp for bp in self._primitives if bp.fp.op is None)
-        self._op_primitives = tuple(
-            bp for bp in self._primitives if bp.fp.op is not None)
+        parts = partition_primitives(fault)
+        self._primitives = parts.all
+        self._state_primitives = parts.state
+        self._op_primitives = parts.operation
+        self._cells = self._initial_cells()
+
+    def _initial_cells(self):
+        """Backing cell store, every cell uninitialized.
+
+        Subclasses may return any object supporting integer-address
+        ``[]`` access (the sparse backend substitutes an O(1) mapping
+        over the fault's bound cells).
+        """
+        cells: List[CellState] = [DONT_CARE] * self.size
+        return cells
 
     # ------------------------------------------------------------------
     # Inspection
@@ -152,6 +198,18 @@ class FaultyMemory:
         pre-wait state matches, regardless of address (waiting is a
         whole-array condition).
         """
+        self._apply_wait_faults()
+        # Waiting breaks the at-speed pairing of dynamic sensitizations.
+        self._previous = None
+        self._settle_state_faults()
+
+    def _apply_wait_faults(self) -> None:
+        """Apply every wait-sensitized primitive whose condition holds.
+
+        Factored out of :meth:`wait` so the sparse kernel can replay a
+        wait's cell-state effect without the previous-operation reset
+        (which it accounts for once per march-element segment).
+        """
         pending = []
         for bp in self._op_primitives:
             if not bp.fp.op.is_wait:
@@ -165,9 +223,6 @@ class FaultyMemory:
                 pending.append(bp)
         for bp in pending:
             self._cells[bp.victim] = bp.fp.effect
-        # Waiting breaks the at-speed pairing of dynamic sensitizations.
-        self._previous = None
-        self._settle_state_faults()
 
     # ------------------------------------------------------------------
     # Fault machinery

@@ -6,6 +6,9 @@
   bit-packed/chunking fast path shared by the oracles;
 * :mod:`repro.sim.engine` -- executing a march test against a faulty
   memory, including the up/down resolutions of ``⇕`` elements;
+* :mod:`repro.sim.sparse` -- the size-independent sparse kernel:
+  simulate only a fault's bound cells plus one representative per
+  homogeneous segment (selected via ``backend=`` / ``"auto"``);
 * :mod:`repro.sim.coverage` -- the coverage oracle: does a march test
   detect every instance of every fault in a list?
 * :mod:`repro.sim.campaign` -- batched multi-test × multi-list ×
@@ -13,6 +16,13 @@
 """
 
 from repro.sim.placements import role_placements, order_resolutions
+from repro.sim.sparse import (
+    BACKENDS,
+    SparseMemory,
+    make_memory,
+    resolve_backend,
+    sparse_supported,
+)
 from repro.sim.engine import (
     DetectionSite,
     run_march,
@@ -33,6 +43,11 @@ from repro.sim.campaign import (
 __all__ = [
     "role_placements",
     "order_resolutions",
+    "BACKENDS",
+    "SparseMemory",
+    "make_memory",
+    "resolve_backend",
+    "sparse_supported",
     "DetectionSite",
     "run_march",
     "detects_instance",

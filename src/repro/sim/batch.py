@@ -81,6 +81,57 @@ def cached_instances(
     return tuple(instances)
 
 
+@lru_cache(maxsize=None)
+def cached_segment_walks(
+    bound: Tuple[int, ...], memory_size: int
+) -> Tuple[Tuple[Tuple, ...], Tuple[Tuple, ...]]:
+    """Memoized (ascending, descending) sparse walk structures.
+
+    A walk is the address sweep of one march element collapsed to the
+    fault's *bound* cells plus the homogeneous non-bound runs between
+    them: a tuple of items, each either ``("b", address)`` (a bound
+    cell, simulated exactly) or ``("s", first, last, length)`` (a
+    maximal run of non-bound cells; *first*/*last* are the first and
+    last addresses **in visit order**).  The structure depends only on
+    the bound-address tuple and the memory size, so it is shared by
+    every :class:`~repro.sim.sparse.SparseMemory` over the same
+    geometry.
+
+    Args:
+        bound: the fault's bound addresses, sorted ascending.
+        memory_size: number of cells in the memory.
+    """
+    ascending: List[Tuple] = []
+    cursor = 0
+    for address in bound:
+        if address > cursor:
+            ascending.append(("s", cursor, address - 1, address - cursor))
+        ascending.append(("b", address))
+        cursor = address + 1
+    if cursor < memory_size:
+        ascending.append(
+            ("s", cursor, memory_size - 1, memory_size - cursor))
+    descending: List[Tuple] = []
+    for item in reversed(ascending):
+        if item[0] == "s":
+            _, low, high, length = item
+            descending.append(("s", high, low, length))
+        else:
+            descending.append(item)
+    return tuple(ascending), tuple(descending)
+
+
+#: Memoized callables registered by higher layers (e.g. the sparse
+#: kernel's trajectory cache) so :func:`clear_caches` can drop them
+#: without this module importing upward.
+_REGISTERED_CACHES: List = []
+
+
+def register_cache(cached_callable) -> None:
+    """Register an ``lru_cache``-wrapped callable with clear_caches."""
+    _REGISTERED_CACHES.append(cached_callable)
+
+
 def clear_caches() -> None:
     """Drop every memoized placement/resolution/instance binding.
 
@@ -92,6 +143,9 @@ def clear_caches() -> None:
     cached_role_placements.cache_clear()
     cached_order_resolutions.cache_clear()
     cached_instances.cache_clear()
+    cached_segment_walks.cache_clear()
+    for cached_callable in _REGISTERED_CACHES:
+        cached_callable.cache_clear()
 
 
 def chunked(items: Sequence[_T], size: int) -> Iterator[List[_T]]:

@@ -40,6 +40,7 @@ from repro.sim.coverage import (
     report_from_outcomes,
 )
 from repro.sim.placements import DEFAULT_MEMORY_SIZE, LF3_LAYOUTS
+from repro.sim.sparse import BACKENDS
 
 
 @dataclass(frozen=True)
@@ -188,6 +189,11 @@ class CoverageCampaign:
         exhaustive_limit: ``⇕`` resolution threshold for the oracle.
         chunk_size: faults per pool task (default: sized so each
             worker gets roughly four chunks per job).
+        backend: simulation backend selector (``"auto"``, ``"sparse"``
+            or ``"dense"``; see :data:`repro.sim.sparse.BACKENDS`).
+            Reports are byte-identical across backends -- the sparse
+            kernel is an exact O(1)-per-element-sweep replacement for
+            the dense every-cell walk.
     """
 
     def __init__(
@@ -201,6 +207,7 @@ class CoverageCampaign:
         workers: int = 1,
         exhaustive_limit: int = 6,
         chunk_size: Optional[int] = None,
+        backend: str = "auto",
     ):
         if isinstance(tests, MarchTest):
             tests = [tests]
@@ -249,6 +256,11 @@ class CoverageCampaign:
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
         self.chunk_size = chunk_size
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown simulation backend {backend!r}; "
+                f"choose from {BACKENDS}")
+        self.backend = backend
 
     def jobs(self) -> List[CampaignJob]:
         """The campaign's work units, in deterministic result order."""
@@ -287,6 +299,7 @@ class CoverageCampaign:
             job.memory_size,
             self.exhaustive_limit,
             job.lf3_layout,
+            self.backend,
         )
 
     def _run_parallel(
@@ -309,7 +322,7 @@ class CoverageCampaign:
                     pool.submit(
                         qualify_outcomes, job.test, chunk,
                         job.memory_size, self.exhaustive_limit,
-                        job.lf3_layout)
+                        job.lf3_layout, self.backend)
                     for chunk in chunks
                 ]
                 for job, chunks in zip(jobs, job_chunks)

@@ -28,6 +28,7 @@ from repro.memory.sram import FaultyMemory
 from repro.sim.batch import cached_instances
 from repro.sim.engine import detects_instance, run_element
 from repro.sim.placements import DEFAULT_MEMORY_SIZE
+from repro.sim.sparse import blank_snapshot, make_memory, resolve_backend
 
 #: A coverage target: either a linked fault or a simple fault primitive.
 TargetFault = Union[LinkedFault, FaultPrimitive]
@@ -164,6 +165,9 @@ class CoverageOracle:
         lf3_layout: three-cell placement policy (``"straddle"`` default
             per the Figure 1 calibration; ``"all"`` for the strict
             superset).
+        backend: simulation backend selector (``"auto"`` default --
+            the sparse kernel whenever the fault list's semantics
+            allow; see :data:`repro.sim.sparse.BACKENDS`).
     """
 
     def __init__(
@@ -172,11 +176,13 @@ class CoverageOracle:
         memory_size: int = DEFAULT_MEMORY_SIZE,
         exhaustive_limit: int = 6,
         lf3_layout: str = "straddle",
+        backend: str = "auto",
     ):
         self.faults = list(faults)
         self.memory_size = memory_size
         self.exhaustive_limit = exhaustive_limit
         self.lf3_layout = lf3_layout
+        self.backend = resolve_backend(backend, self.faults, memory_size)
         self._instances: Dict[str, List[FaultInstance]] = {
             fault_name(f): make_instances(f, memory_size, lf3_layout)
             for f in self.faults
@@ -190,7 +196,8 @@ class CoverageOracle:
         """Does *test* detect every placement of *fault*?"""
         return all(
             detects_instance(
-                test, instance, self.memory_size, self.exhaustive_limit)
+                test, instance, self.memory_size, self.exhaustive_limit,
+                self.backend)
             for instance in self._instances[fault_name(fault)]
         )
 
@@ -204,7 +211,7 @@ class CoverageOracle:
         """
         return qualify_test(
             test, self.faults, self.memory_size, self.exhaustive_limit,
-            self.lf3_layout)
+            self.lf3_layout, self.backend)
 
 
 #: Per-fault qualification outcome: ``(detected, witness_instance,
@@ -220,6 +227,7 @@ def qualify_outcomes(
     memory_size: int = DEFAULT_MEMORY_SIZE,
     exhaustive_limit: int = 6,
     lf3_layout: str = "straddle",
+    backend: str = "auto",
 ) -> Tuple[List[QualifyOutcome], int]:
     """Per-fault outcomes of qualifying *test*, in fault-list order.
 
@@ -236,7 +244,7 @@ def qualify_outcomes(
         ``(outcomes, contexts_simulated)`` with one outcome per fault.
     """
     incremental = IncrementalCoverage(
-        faults, memory_size, exhaustive_limit, lf3_layout)
+        faults, memory_size, exhaustive_limit, lf3_layout, backend)
     for element in test.elements:
         incremental.append(element)
     covered = incremental.covered_indexes()
@@ -279,10 +287,11 @@ def qualify_test(
     memory_size: int = DEFAULT_MEMORY_SIZE,
     exhaustive_limit: int = 6,
     lf3_layout: str = "straddle",
+    backend: str = "auto",
 ) -> CoverageReport:
     """Qualify one march test against one fault list, serially."""
     outcomes, contexts = qualify_outcomes(
-        test, faults, memory_size, exhaustive_limit, lf3_layout)
+        test, faults, memory_size, exhaustive_limit, lf3_layout, backend)
     return report_from_outcomes(test.name, faults, outcomes, contexts)
 
 
@@ -290,10 +299,14 @@ def qualify_test(
 class _Context:
     """One (fault, instance, resolution-prefix) simulation context.
 
-    ``snapshot`` is the bit-packed memory word
-    (:func:`repro.faults.values.pack_word`): an int hashes, compares
-    and copies faster than a tuple of mixed cell states, and the dedup
-    set below is on the hot path.
+    ``snapshot`` is the bit-packed memory state: an int hashes,
+    compares and copies faster than a tuple of mixed cell states, and
+    the dedup set below is on the hot path.  Its encoding is
+    backend-owned -- the dense backend packs the whole array
+    (:func:`repro.faults.values.pack_word`, O(size)); the sparse
+    backend packs only the bound cells plus the shared non-bound
+    representative (:meth:`repro.sim.sparse.SparseMemory.packed_state`,
+    O(1)) -- so dedup keys shrink with the kernel.
     """
 
     fault_index: int
@@ -318,14 +331,21 @@ class IncrementalCoverage:
         memory_size: int = DEFAULT_MEMORY_SIZE,
         exhaustive_limit: int = 6,
         lf3_layout: str = "straddle",
+        backend: str = "auto",
     ):
         self.faults = list(faults)
         self.memory_size = memory_size
         self.exhaustive_limit = exhaustive_limit
         self.lf3_layout = lf3_layout
+        self.backend = resolve_backend(backend, self.faults, memory_size)
         self._element_count = 0
         self._pending: List[_Context] = []
-        self._pending_per_fault: Dict[int, int] = {}
+        #: Pending contexts grouped by fault index, in pending order --
+        #: maintained alongside ``_pending`` so witness lookups
+        #: (:meth:`witness_for`, called once per escaped fault per
+        #: qualification) are O(1) instead of scanning the whole
+        #: pending list per call.
+        self._pending_by_fault: Dict[int, List[_Context]] = {}
         self._covered: Set[int] = set()
         #: One reusable memory per bound instance: reloading a packed
         #: snapshot is much cheaper than re-running ``FaultyMemory``
@@ -339,13 +359,18 @@ class IncrementalCoverage:
         #: long as the pool entry exists.
         self._memories: Dict[int, FaultyMemory] = {}
         self.contexts_simulated = 0
-        blank = pack_word((DONT_CARE,) * memory_size)
+        dense_blank = pack_word((DONT_CARE,) * memory_size)
         for index, fault in enumerate(self.faults):
             instances = cached_instances(fault, memory_size, lf3_layout)
+            contexts = []
             for instance in instances:
-                self._pending.append(_Context(
-                    index, instance, (), blank))
-            self._pending_per_fault[index] = len(instances)
+                if self.backend == "sparse":
+                    blank = blank_snapshot(len(instance.cells))
+                else:
+                    blank = dense_blank
+                contexts.append(_Context(index, instance, (), blank))
+            self._pending.extend(contexts)
+            self._pending_by_fault[index] = contexts
 
     # ------------------------------------------------------------------
     # State
@@ -377,8 +402,12 @@ class IncrementalCoverage:
         self, name: str
     ) -> Tuple[FaultInstance, Tuple[bool, ...]]:
         """An escaping (instance, resolution) pair for fault *name*."""
-        for ctx in self._pending:
-            if fault_name(self.faults[ctx.fault_index]) == name:
+        for index, fault in enumerate(self.faults):
+            if fault_name(fault) != name:
+                continue
+            contexts = self._pending_by_fault.get(index)
+            if contexts:
+                ctx = contexts[0]
                 return ctx.instance, ctx.resolution
         raise KeyError(f"fault {name!r} has no pending context")
 
@@ -386,10 +415,11 @@ class IncrementalCoverage:
         self, index: int
     ) -> Tuple[FaultInstance, Tuple[bool, ...]]:
         """An escaping (instance, resolution) pair for fault *index*."""
-        for ctx in self._pending:
-            if ctx.fault_index == index:
-                return ctx.instance, ctx.resolution
-        raise KeyError(f"fault index {index} has no pending context")
+        contexts = self._pending_by_fault.get(index)
+        if not contexts:
+            raise KeyError(f"fault index {index} has no pending context")
+        ctx = contexts[0]
+        return ctx.instance, ctx.resolution
 
     # ------------------------------------------------------------------
     # Advancing
@@ -398,13 +428,13 @@ class IncrementalCoverage:
         """Commit *element*; return indices of newly covered faults."""
         survivors = self._advance(self._pending, element)
         self._pending = self._dedup(survivors)
-        self._pending_per_fault = {}
+        self._pending_by_fault = {}
         for ctx in self._pending:
-            self._pending_per_fault[ctx.fault_index] = (
-                self._pending_per_fault.get(ctx.fault_index, 0) + 1)
+            self._pending_by_fault.setdefault(
+                ctx.fault_index, []).append(ctx)
         before = set(self._covered)
         for index in range(len(self.faults)):
-            if self._pending_per_fault.get(index, 0) == 0:
+            if not self._pending_by_fault.get(index):
                 self._covered.add(index)
         self._element_count += 1
         return self._covered - before
@@ -431,8 +461,8 @@ class IncrementalCoverage:
             pending_after[ctx.fault_index] = (
                 pending_after.get(ctx.fault_index, 0) + 1)
         newly_covered = sum(
-            1 for index, count in self._pending_per_fault.items()
-            if count > 0 and pending_after.get(index, 0) == 0)
+            1 for index, contexts in self._pending_by_fault.items()
+            if contexts and pending_after.get(index, 0) == 0)
         contexts_resolved = max(0, len(self._pending) - len(pending))
         return newly_covered, contexts_resolved
 
@@ -476,7 +506,7 @@ class IncrementalCoverage:
         """The pooled reusable memory bound to *instance*."""
         memory = self._memories.get(id(instance))
         if memory is None:
-            memory = FaultyMemory(self.memory_size, instance)
+            memory = make_memory(self.memory_size, instance, self.backend)
             self._memories[id(instance)] = memory
         return memory
 
@@ -487,12 +517,17 @@ class IncrementalCoverage:
         Two undetected contexts with identical snapshots (cells plus
         dynamic pairing state) have identical futures; keeping one
         bounds the ``⇕`` fork growth by the number of distinct states
-        instead of ``2^k``.
+        instead of ``2^k``.  Instances are keyed by object identity,
+        never display name: distinct faults can share a name (see the
+        memory-pool note above), and merging their contexts would
+        silently drop one fault's simulation.  Identity is stable here
+        because every context holds a strong reference to its
+        instance.
         """
         seen: Set[Tuple] = set()
         unique: List[_Context] = []
         for ctx in contexts:
-            key = (ctx.fault_index, ctx.instance.name, ctx.snapshot,
+            key = (ctx.fault_index, id(ctx.instance), ctx.snapshot,
                    ctx.previous)
             if key in seen:
                 continue

@@ -96,7 +96,15 @@ def run_element(
 
     Public so the incremental coverage oracle can resume a simulation
     from a snapshot taken after a shared march prefix.
+
+    Memories providing an ``element_kernel`` method (the sparse
+    backend, :class:`repro.sim.sparse.SparseMemory`) execute the whole
+    element themselves in O(ops × bound_cells); everything else gets
+    the dense every-cell walk below.
     """
+    kernel = getattr(memory, "element_kernel", None)
+    if kernel is not None:
+        return kernel(element, element_index, descending)
     for address in element.order.addresses(memory.size, descending):
         for op_index, op in enumerate(element.operations):
             if op.is_write:
@@ -118,6 +126,7 @@ def detects_instance(
     fault: FaultInstance,
     memory_size: int,
     exhaustive_limit: int = 6,
+    backend: str = "auto",
 ) -> bool:
     """Does *test* detect *fault* under every ``⇕`` resolution?
 
@@ -127,11 +136,16 @@ def detects_instance(
         memory_size: size of the simulated memory.
         exhaustive_limit: see
             :func:`repro.sim.placements.order_resolutions`.
+        backend: simulation backend selector (see
+            :data:`repro.sim.sparse.BACKENDS`).
     """
+    # Imported lazily: the sparse module builds on this one.
+    from repro.sim.sparse import make_memory
+
     any_count = sum(
         1 for el in test.elements if el.order is AddressOrder.ANY)
     for resolution in cached_order_resolutions(any_count, exhaustive_limit):
-        memory = FaultyMemory(memory_size, fault)
+        memory = make_memory(memory_size, fault, backend)
         if run_march(test, memory, resolution) is None:
             return False
     return True
@@ -142,6 +156,7 @@ def escape_sites(
     fault: FaultInstance,
     memory_size: int,
     exhaustive_limit: int = 6,
+    backend: str = "auto",
 ) -> List[Tuple[Tuple[bool, ...], Optional[DetectionSite]]]:
     """Diagnostic variant of :func:`detects_instance`.
 
@@ -149,10 +164,12 @@ def escape_sites(
     escape) -- used by examples and failure analyses to show *where*
     masking defeated a test.
     """
+    from repro.sim.sparse import make_memory
+
     any_count = sum(
         1 for el in test.elements if el.order is AddressOrder.ANY)
     outcomes = []
     for resolution in cached_order_resolutions(any_count, exhaustive_limit):
-        memory = FaultyMemory(memory_size, fault)
+        memory = make_memory(memory_size, fault, backend)
         outcomes.append((resolution, run_march(test, memory, resolution)))
     return outcomes

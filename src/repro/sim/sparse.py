@@ -1,0 +1,418 @@
+"""Size-independent sparse march simulation kernel.
+
+The dense kernel (:func:`repro.sim.engine.run_element` over a
+:class:`~repro.memory.sram.FaultyMemory`) walks **every** cell of the
+memory for every march element, so qualification cost grows as
+O(size × ops × contexts) even though a static linked fault binds at
+most three cells.  This module exploits the structure of the fault
+model to simulate a march element in O(ops × bound_cells), independent
+of memory size:
+
+* Operations addressed to a **non-bound** cell never sensitize an
+  operation primitive (:meth:`BoundPrimitive.role_of` is ``None``) and
+  never appear in a state-fault condition, so those cells behave
+  fault-free.  Because a march element applies the same operation
+  sequence to every cell, all non-bound cells share one common state at
+  every element boundary -- a single canonical representative models
+  them all.
+* The address sweep collapses to the fault's bound cells plus the
+  homogeneous non-bound *segments* between them
+  (:func:`repro.sim.batch.cached_segment_walks`), visited in address
+  order so first-detection sites match the dense kernel exactly.
+* Non-bound visits still touch bound cells in two ways the kernel
+  replays exactly: the wait operation ``t`` applies data-retention
+  primitives to their (bound) victims regardless of address, and every
+  operation settles standing state-fault conditions.  Per visited cell
+  this is a pure function of the bound-cell states, so a segment of
+  length L is replayed with cycle detection over the (tiny) bound
+  state space instead of L literal iterations.
+* The ``previous_operation`` pairing record consumed by dynamic faults
+  is threaded across segment boundaries with physical addresses, so
+  back-to-back sensitizations across an element boundary (last cell of
+  one sweep == first cell of the next) behave exactly as in the dense
+  kernel.
+* Reads of non-bound cells are still checked against the march
+  expectation; a read of an uninitialized cell (``'-'``) never
+  detects.
+
+See ``DESIGN_sparse.md`` for the full semantics argument and
+``tests/test_sparse.py`` for the differential suite pinning
+byte-identical coverage reports against the dense oracle.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.faults.linked import LinkedFault
+from repro.faults.operations import OpKind, Operation
+from repro.faults.primitives import FaultPrimitive, PreviousOperation
+from repro.faults.values import (
+    Bit,
+    CellState,
+    DONT_CARE,
+    pack_word,
+    unpack_word,
+)
+from repro.march.element import AddressOrder, MarchElement
+from repro.memory.injection import FaultInstance
+from repro.memory.sram import FaultyMemory, partition_primitives
+from repro.sim.batch import cached_segment_walks, register_cache
+
+#: Recognized simulation backend selectors.  ``"auto"`` resolves to
+#: ``"sparse"`` whenever every target's semantics allow it (see
+#: :func:`sparse_supported`) and the memory is large enough for the
+#: segment walk to pay for itself; ``"dense"`` otherwise.
+BACKENDS: Tuple[str, ...] = ("auto", "sparse", "dense")
+
+#: Smallest memory size at which ``"auto"`` picks the sparse kernel.
+#: Below it (the 3-cell default geometry, where bound cells cover the
+#: whole array and segments are empty) the dense walk is measurably
+#: faster -- the sparse kernel's win is algorithmic in the segment
+#: lengths, and there are no segments to collapse.  Both kernels are
+#: report-identical at every size, so this is purely a speed heuristic.
+SPARSE_AUTO_MIN_SIZE = 4
+
+
+def sparse_supported(fault: object) -> bool:
+    """Can the sparse kernel simulate *fault* exactly?
+
+    The kernel's exactness argument relies on the fault binding every
+    primitive to concrete cell addresses whose sensitization depends
+    only on bound-cell states and the physical-address previous-op
+    record -- true for every fault model this package defines (linked
+    faults, simple fault primitives and their bound instances, plus
+    ``None`` for a golden memory).  Foreign fault objects (e.g. a
+    future address-decoder model with whole-array scope) are not
+    assumed sparse-safe and route ``"auto"`` to the dense kernel.
+    """
+    return fault is None or isinstance(
+        fault, (LinkedFault, FaultPrimitive, FaultInstance))
+
+
+def resolve_backend(
+    backend: str,
+    faults: Sequence[object] = (),
+    memory_size: Optional[int] = None,
+) -> str:
+    """Resolve a backend selector to ``"sparse"`` or ``"dense"``.
+
+    Args:
+        backend: one of :data:`BACKENDS`.
+        faults: the coverage targets (or bound instances) the backend
+            will simulate; consulted only by ``"auto"``.
+        memory_size: the simulated memory size, when known; ``"auto"``
+            keeps the dense kernel below
+            :data:`SPARSE_AUTO_MIN_SIZE` (a speed heuristic only --
+            results are identical either way).
+
+    Raises:
+        ValueError: for an unknown selector.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown simulation backend {backend!r}; "
+            f"choose from {BACKENDS}")
+    if backend == "auto":
+        if memory_size is not None and memory_size < SPARSE_AUTO_MIN_SIZE:
+            return "dense"
+        if all(sparse_supported(fault) for fault in faults):
+            return "sparse"
+        return "dense"
+    return backend
+
+
+def make_memory(
+    memory_size: int,
+    fault: Optional[FaultInstance] = None,
+    backend: str = "auto",
+) -> FaultyMemory:
+    """Construct the simulation memory for *fault* under *backend*."""
+    if resolve_backend(backend, (fault,), memory_size) == "sparse":
+        return SparseMemory(memory_size, fault)
+    return FaultyMemory(memory_size, fault)
+
+
+def blank_snapshot(bound_cells: int) -> int:
+    """The packed all-uninitialized sparse snapshot.
+
+    Sparse snapshots pack the bound-cell states (ascending address
+    order) followed by the shared non-bound representative -- O(1) in
+    the memory size, against the dense kernel's O(size)
+    :func:`~repro.faults.values.pack_word` of the full array.
+    """
+    return pack_word((DONT_CARE,) * (bound_cells + 1))
+
+
+class _RepTrajectory(NamedTuple):
+    """Fault-free behaviour of one non-bound cell under an element.
+
+    Attributes:
+        detect: ``(op_index, expected, observed)`` of the first
+            mismatching read, or ``None``; every cell of a segment
+            starts from the same state, so a mismatch fires at the
+            segment's first visited address.
+        final_state: the cell state after a full (non-detecting) visit.
+        last_record: ``(kind, value, pre_state)`` of the element's last
+            operation -- the previous-op record a visit leaves behind
+            (``None`` when the element ends with a wait, which clears
+            the pairing record).
+    """
+
+    detect: Optional[Tuple[int, Bit, CellState]]
+    final_state: CellState
+    last_record: Optional[Tuple[OpKind, Optional[Bit], CellState]]
+
+
+@lru_cache(maxsize=None)
+def _rep_trajectory(
+    ops: Tuple[Operation, ...], entry: CellState
+) -> _RepTrajectory:
+    """Simulate one fault-free cell through *ops* from state *entry*.
+
+    Memoized: within one march element every segment shares a single
+    trajectory, and across contexts the (ops, entry) space is tiny.
+    """
+    state = entry
+    detect: Optional[Tuple[int, Bit, CellState]] = None
+    last_record: Optional[Tuple[OpKind, Optional[Bit], CellState]] = None
+    for op_index, op in enumerate(ops):
+        if op.is_write:
+            last_record = (OpKind.WRITE, op.value, state)
+            state = op.value
+        elif op.is_read:
+            if op.value is not None and state in (0, 1) \
+                    and state != op.value:
+                detect = (op_index, op.value, state)
+                break
+            last_record = (OpKind.READ, None, state)
+        else:
+            last_record = None
+    return _RepTrajectory(detect, state, last_record)
+
+
+register_cache(_rep_trajectory)
+
+
+class _SparseCells:
+    """Cell store of a :class:`SparseMemory`.
+
+    Physical-address ``[]`` access compatible with the dense list, but
+    holding only the bound cells plus one shared state for every
+    non-bound cell.  Assigning through a non-bound address updates the
+    shared state -- the store models *element-uniform* access, where an
+    operation reaching one non-bound cell reaches its whole
+    homogeneity class.
+    """
+
+    __slots__ = ("bound", "rep")
+
+    def __init__(self, addresses: Tuple[int, ...]):
+        #: Bound-cell states, keyed by address in ascending order (the
+        #: packed-snapshot order).
+        self.bound = {address: DONT_CARE for address in addresses}
+        #: The shared state of every non-bound cell.
+        self.rep: CellState = DONT_CARE
+
+    def __getitem__(self, address: int) -> CellState:
+        # Bound states are always 0, 1 or '-', never None, so a None
+        # probe result means "not a bound cell".
+        state = self.bound.get(address)
+        return self.rep if state is None else state
+
+    def __setitem__(self, address: int, value: CellState) -> None:
+        if address in self.bound:
+            self.bound[address] = value
+        else:
+            self.rep = value
+
+
+class SparseMemory(FaultyMemory):
+    """A :class:`FaultyMemory` storing only bound cells + one class rep.
+
+    Construction, operation semantics and fault machinery are inherited
+    unchanged -- only the cell store is swapped
+    (:meth:`_initial_cells`), so the two backends cannot drift apart on
+    sensitization, masking or settling behaviour.  The march engine
+    dispatches whole-element execution to :meth:`element_kernel`
+    (size-independent); direct :meth:`write`/:meth:`read`/:meth:`wait`
+    calls also work at any physical address, with non-bound operations
+    interpreted as element-uniform (they act on the entire non-bound
+    homogeneity class).
+    """
+
+    def __init__(self, size: int, fault: Optional[FaultInstance] = None):
+        self._bound_addresses: Tuple[int, ...] = (
+            fault.cells if fault is not None else ())
+        super().__init__(size, fault)
+        self._walk_up, self._walk_down = cached_segment_walks(
+            self._bound_addresses, size)
+        #: Do non-bound visits touch bound cells at all?  Only standing
+        #: state faults (settled after every operation) and
+        #: wait-sensitized primitives (whole-array DRF) can.
+        parts = partition_primitives(fault)
+        self._visits_touch_bound = (
+            bool(parts.state) or bool(parts.wait_sensitized))
+
+    def _initial_cells(self) -> _SparseCells:
+        return _SparseCells(self._bound_addresses)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def state(self) -> Tuple[CellState, ...]:
+        """Materialized full-array snapshot (diagnostics; O(size))."""
+        cells = self._cells
+        full: List[CellState] = [cells.rep] * self.size
+        for address, value in cells.bound.items():
+            full[address] = value
+        return tuple(full)
+
+    def load_state(self, cells: Tuple[CellState, ...]) -> None:
+        """Restore a full-array snapshot (see the dense docstring).
+
+        Raises:
+            ValueError: when the snapshot's non-bound cells are not all
+                equal -- such a state is unreachable at march-element
+                boundaries and has no sparse representation.
+        """
+        if len(cells) != self.size:
+            raise ValueError("snapshot size mismatch")
+        sparse = self._cells
+        rep: Optional[CellState] = None
+        for address, value in enumerate(cells):
+            if address in sparse.bound:
+                continue
+            if rep is None:
+                rep = value
+            elif value != rep:
+                raise ValueError(
+                    "sparse memories require homogeneous non-bound "
+                    "cells; load the snapshot into a dense "
+                    "FaultyMemory instead")
+        sparse.rep = DONT_CARE if rep is None else rep
+        for address in sparse.bound:
+            sparse.bound[address] = cells[address]
+        self._previous = None
+
+    def packed_state(self) -> int:
+        """Packed sparse snapshot: bound states (ascending) + rep.
+
+        O(1) in the memory size; this is what the incremental coverage
+        oracle stores and dedups when running on the sparse backend.
+        """
+        cells = self._cells
+        states = list(cells.bound.values())
+        states.append(cells.rep)
+        return pack_word(states)
+
+    def load_packed(self, packed: int) -> None:
+        """Restore a snapshot captured with :meth:`packed_state`."""
+        cells = self._cells
+        states = unpack_word(packed, len(cells.bound) + 1)
+        for address, value in zip(cells.bound, states):
+            cells.bound[address] = value
+        cells.rep = states[-1]
+        self._previous = None
+
+    # ------------------------------------------------------------------
+    # Size-independent element execution
+    # ------------------------------------------------------------------
+    def element_kernel(
+        self,
+        element: MarchElement,
+        element_index: int,
+        descending: bool,
+    ):
+        """Run one march element in O(ops × bound_cells).
+
+        The march engine (:func:`repro.sim.engine.run_element`)
+        dispatches here when the memory provides this method.  Returns
+        the first :class:`~repro.sim.engine.DetectionSite` or ``None``,
+        exactly as the dense walk would.
+        """
+        from repro.sim.engine import DetectionSite
+
+        ops = element.operations
+        # Mirror AddressOrder.addresses: fixed orders ignore the
+        # resolution flag, which only resolves ``⇕`` elements.
+        down = element.order is AddressOrder.DOWN or (
+            element.order is AddressOrder.ANY and descending)
+        walk = self._walk_down if down else self._walk_up
+        trajectory: Optional[_RepTrajectory] = None
+        for item in walk:
+            if item[0] == "b":
+                address = item[1]
+                for op_index, op in enumerate(ops):
+                    if op.is_write:
+                        self.write(address, op.value)
+                    elif op.is_read:
+                        observed = self.read(address)
+                        if op.value is not None and observed in (0, 1) \
+                                and observed != op.value:
+                            return DetectionSite(
+                                element_index, address, op_index,
+                                op.value, observed)
+                    else:
+                        self.wait()
+            else:
+                _, first, last, length = item
+                if trajectory is None:
+                    trajectory = _rep_trajectory(ops, self._cells.rep)
+                if trajectory.detect is not None:
+                    # Detection ends the run; the post-detection memory
+                    # state is never observed, so the partial visit's
+                    # bound-cell effects need not be replayed.
+                    op_index, expected, observed = trajectory.detect
+                    return DetectionSite(
+                        element_index, first, op_index, expected,
+                        observed)
+                self._replay_visits(ops, length)
+                record = trajectory.last_record
+                if record is None:
+                    self._previous = None
+                else:
+                    kind, value, pre_state = record
+                    self._previous = PreviousOperation(
+                        kind, value, pre_state, last)
+        if trajectory is not None:
+            self._cells.rep = trajectory.final_state
+        return None
+
+    def _replay_visits(self, ops: Tuple[Operation, ...],
+                       count: int) -> None:
+        """Replay the bound-cell effects of *count* non-bound visits.
+
+        Each visit applies, per operation, the wait's data-retention
+        primitives (for ``t`` operations) followed by the state-fault
+        settling the dense kernel performs after every operation --
+        a pure function of the bound-cell states.  The bound state
+        space is at most ``3^3`` states, so long segments are replayed
+        with cycle detection instead of literal iteration, keeping the
+        cost O(1) in the segment length.
+        """
+        if count <= 0 or not self._visits_touch_bound:
+            return
+        waits = tuple(op.is_wait for op in ops)
+        bound = self._cells.bound
+        seen = {}
+        step = 0
+        while step < count:
+            key = tuple(bound.values())
+            first_step = seen.get(key)
+            if first_step is not None:
+                cycle = step - first_step
+                for _ in range((count - step) % cycle):
+                    self._one_visit(waits)
+                return
+            seen[key] = step
+            self._one_visit(waits)
+            step += 1
+
+    def _one_visit(self, waits: Tuple[bool, ...]) -> None:
+        """Bound-cell effects of one cell visit (one op sequence)."""
+        for is_wait in waits:
+            if is_wait:
+                self._apply_wait_faults()
+            self._settle_state_faults()

@@ -151,3 +151,74 @@ class TestLayoutThreading:
         strict = CoverageOracle([fault], lf3_layout="all")
         assert len(straddle.instances_of(fault)) == 2
         assert len(strict.instances_of(fault)) == 6
+
+
+class TestDedupInstanceIdentity:
+    def test_same_named_instances_never_merge(self):
+        # Distinct faults can share a display name (the memory pool's
+        # warning); binding two behaviourally different primitives
+        # under one name at the same cells yields two instances whose
+        # names -- and snapshots -- collide.  Dedup must key on object
+        # identity and keep both simulation contexts.
+        from repro.faults.primitives import parse_fp
+        from repro.memory.injection import FaultInstance
+        from repro.sim.coverage import _Context
+
+        up = parse_fp("<0w1/0/->", name="X")
+        down = parse_fp("<1w0/1/->", name="X")
+        first = FaultInstance.from_simple(up, victim=0)
+        second = FaultInstance.from_simple(down, victim=0)
+        assert first.name == second.name
+        assert first is not second
+        contexts = [
+            _Context(0, first, (), 0),
+            _Context(0, second, (), 0),
+        ]
+        assert IncrementalCoverage._dedup(contexts) == contexts
+
+    def test_identical_instance_contexts_still_merge(self):
+        from repro.memory.injection import FaultInstance
+        from repro.sim.coverage import _Context
+
+        instance = FaultInstance.from_simple(fp_by_name("SF0"), victim=0)
+        contexts = [
+            _Context(0, instance, (), 7),
+            _Context(0, instance, (), 7),
+            _Context(0, instance, (), 9),
+        ]
+        assert IncrementalCoverage._dedup(contexts) == \
+            [contexts[0], contexts[2]]
+
+
+class TestWitnessPendingMap:
+    def test_witness_for_matches_pending_head(self):
+        # The per-fault pending map must return exactly what the old
+        # linear scan did: the first pending context in append order.
+        faults = lf1_faults()
+        oracle = IncrementalCoverage(faults)
+        oracle.append(MarchElement(AddressOrder.ANY, (write(0),)))
+        for index in range(len(faults)):
+            expected = next(
+                (ctx for ctx in oracle._pending
+                 if ctx.fault_index == index), None)
+            if expected is None:
+                with pytest.raises(KeyError):
+                    oracle.witness_for(index)
+            else:
+                instance, resolution = oracle.witness_for(index)
+                assert instance is expected.instance
+                assert resolution == expected.resolution
+
+    def test_witness_by_name_prefers_earliest_fault(self):
+        faults = [fp_by_name("TFU"), fp_by_name("TFU")]
+        oracle = IncrementalCoverage(faults)
+        oracle.append(MarchElement(AddressOrder.ANY, (write(0),)))
+        instance, _ = oracle.witness("TFU")
+        assert instance is oracle._pending_by_fault[0][0].instance
+
+    def test_witness_for_raises_after_coverage(self):
+        oracle = IncrementalCoverage([fp_by_name("SF0")])
+        oracle.append(MarchElement(AddressOrder.ANY, (write(0),)))
+        oracle.append(MarchElement(AddressOrder.ANY, (read(0),)))
+        with pytest.raises(KeyError):
+            oracle.witness_for(0)
