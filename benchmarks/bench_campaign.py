@@ -13,6 +13,12 @@ once on the sparse bound-cell kernel, writing per-size wall time,
 contexts/second, the sparse/dense speedup and an identity verdict to
 ``BENCH_sparse.json`` (``--sparse-out``).
 
+With ``--widths W W W`` (e.g. ``--widths 1 4 8``) the script also
+runs the **word-mode sweep**: a compact word-oriented campaign per
+width, dense vs lane-sparse kernel, appended to the main payload as
+``width_sweep`` so word-mode performance and cross-backend identity
+enter the same regression gate.
+
 As a CI gate (``--gate``) the script fails when:
 
 * the parallel campaign's reports differ from the serial ones in any
@@ -26,7 +32,9 @@ As a CI gate (``--gate``) the script fails when:
   by ``--min-sparse-speedup`` (default 1.0) at any size >=
   ``--sparse-gate-size`` (default 64).  Unlike the pool-speedup leg
   this applies on **any** core count: the win is algorithmic
-  (O(bound cells) vs O(size) per element sweep), not parallelism.
+  (O(bound cells) vs O(size) per element sweep), not parallelism; or
+* (with ``--widths``) the dense and lane-sparse word kernels diverge
+  at any width (never acceptable, on any machine).
 
 Usage::
 
@@ -98,15 +106,33 @@ def _sweep_workload() -> Dict[str, object]:
     }
 
 
+def _word_workload() -> Dict[str, object]:
+    """Tests and fault lists for the word-mode width sweep.
+
+    Three known tests against Fault List #2: cost grows with
+    width x backgrounds, so the word sweep keeps the fault list
+    compact while still exercising every background pass and both
+    placement families.
+    """
+    tests = [km.test for km in ALL_KNOWN.values()]
+    return {
+        "tests": tests[:3],
+        "fault_lists": {"FL#2": list(fault_list_2())},
+    }
+
+
 def _run(
     workload: Dict[str, object],
     workers: int,
     memory_sizes: Sequence[int] = (3,),
     backend: str = "auto",
+    width: int = 1,
+    backgrounds=None,
 ) -> CampaignResult:
     campaign = CoverageCampaign(
         workload["tests"], workload["fault_lists"], workers=workers,
-        memory_sizes=tuple(memory_sizes), backend=backend)
+        memory_sizes=tuple(memory_sizes), backend=backend, width=width,
+        backgrounds=backgrounds)
     return campaign.run()
 
 
@@ -185,6 +211,47 @@ def run_sparse_sweep(
     }
 
 
+def run_width_sweep(widths: Sequence[int]) -> Dict[str, object]:
+    """Word-mode sweep: dense vs lane-sparse per width, serially.
+
+    The identity verdict is the acceptance-critical part (the two word
+    kernels must agree byte-for-byte at every width); the timings make
+    word-mode throughput visible in ``BENCH_campaign.json`` so
+    regressions show up in the uploaded artifact history.
+    """
+    workload = _word_workload()
+    entries = []
+    for width in widths:
+        # backgrounds="standard" keeps width 1 on the *word* kernels
+        # (a 1-bit word memory under background (0,)) -- otherwise the
+        # bit path would run and the width-1 leg would gate nothing new.
+        dense = _run(workload, workers=1, memory_sizes=(8,),
+                     backend="dense", width=width,
+                     backgrounds="standard")
+        sparse = _run(workload, workers=1, memory_sizes=(8,),
+                      backend="sparse", width=width,
+                      backgrounds="standard")
+        identical = (
+            [entry.to_dict() for entry in dense.entries]
+            == [entry.to_dict() for entry in sparse.entries])
+        speedup = (
+            dense.wall_seconds / sparse.wall_seconds
+            if sparse.wall_seconds > 0 else float("inf"))
+        entries.append({
+            "width": width,
+            "dense": _timing(dense),
+            "sparse": _timing(sparse),
+            "speedup": speedup,
+            "identical": identical,
+        })
+    return {
+        "jobs_per_width": (
+            len(workload["tests"]) * len(workload["fault_lists"])),
+        "widths": list(widths),
+        "entries": entries,
+    }
+
+
 def gate(payload: Dict[str, object]) -> List[str]:
     """Regression-gate verdict: a list of failure messages (empty=pass)."""
     failures = []
@@ -199,6 +266,12 @@ def gate(payload: Dict[str, object]) -> List[str]:
             f"speedup {payload['speedup']:.2f}x < "
             f"{payload['min_speedup']:.2f}x on {payload['cpu_count']} "
             f"cores")
+    for entry in payload.get("width_sweep", {}).get("entries", ()):
+        if not entry["identical"]:
+            failures.append(
+                f"dense and lane-sparse word kernels DIVERGE at "
+                f"width {entry['width']} -- the word sparse kernel "
+                f"is not exact")
     return failures
 
 
@@ -253,10 +326,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--min-sparse-speedup", type=float, default=1.0,
                         help="required sparse-vs-dense speedup at "
                              "gated sizes")
+    parser.add_argument("--widths", nargs="+", type=int, metavar="W",
+                        help="also run the word-mode sweep at these "
+                             "word widths (e.g. --widths 1 4 8), "
+                             "appended to the main report as "
+                             "'width_sweep'")
     args = parser.parse_args(argv)
 
     payload = run_benchmark(
         args.workload, args.workers, args.gate_cores, args.min_speedup)
+    if args.widths:
+        payload["width_sweep"] = run_width_sweep(args.widths)
     with open(args.out, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
@@ -278,6 +358,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"  speed gate: SKIPPED "
               f"({payload['cpu_count']} cores < {args.gate_cores}; "
               f"identity check still enforced)")
+    if args.widths:
+        sweep = payload["width_sweep"]
+        print(f"word-mode width sweep "
+              f"({sweep['jobs_per_width']} jobs per width):")
+        for entry in sweep["entries"]:
+            print(f"  w={entry['width']:<3d} "
+                  f"dense={entry['dense']['wall_seconds']:.2f}s "
+                  f"sparse={entry['sparse']['wall_seconds']:.2f}s "
+                  f"speedup={entry['speedup']:.1f}x "
+                  f"identical={entry['identical']}")
     print(f"report written to {args.out}")
 
     sparse_payload = None

@@ -25,6 +25,7 @@ from repro.analysis.compare import (
 )
 from repro.analysis.dot import g0_dot, pgcf_example_graph
 from repro.core.generator import MarchGenerator
+from repro.faults.backgrounds import BACKGROUND_SETS, background_str
 from repro.faults.dynamic import (
     dynamic_faults,
     dynamic_single_cell_faults,
@@ -42,6 +43,7 @@ from repro.faults.lists import (
 )
 from repro.march.known import ALL_KNOWN, known_march
 from repro.march.test import parse_march
+from repro.march.wordize import wordize
 from repro.sim.campaign import CoverageCampaign
 from repro.sim.coverage import CoverageOracle
 
@@ -96,32 +98,67 @@ def _cmd_known(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_coverage(args: argparse.Namespace) -> int:
-    km = known_march(args.test)
-    faults = _fault_list(args.fault_list)
-    oracle = CoverageOracle(
-        faults, lf3_layout=args.lf3_layout, backend=args.backend)
-    report = oracle.evaluate(km.test)
+def _word_kwargs(args: argparse.Namespace) -> dict:
+    """The ``width``/``backgrounds`` keywords of a word-mode command.
+
+    ``--backgrounds`` accepts either one named set (``standard``,
+    ``marching``, ``solid``) or explicit lane patterns (``0101 0011``);
+    validation happens in :func:`repro.faults.backgrounds.\
+resolve_backgrounds` via the oracle constructors.
+    """
+    backgrounds = args.backgrounds
+    if backgrounds is not None and len(backgrounds) == 1 \
+            and backgrounds[0] in BACKGROUND_SETS:
+        backgrounds = backgrounds[0]
+    return {"width": args.width, "backgrounds": backgrounds}
+
+
+def _make_oracle(args: argparse.Namespace, faults) -> CoverageOracle:
+    """The coverage oracle of a word-aware subcommand."""
+    try:
+        return CoverageOracle(
+            faults, lf3_layout=args.lf3_layout, backend=args.backend,
+            **_word_kwargs(args))
+    except ValueError as error:
+        raise SystemExit(f"invalid word mode: {error}")
+
+
+def _report_outcome(report, args: argparse.Namespace) -> int:
+    """Print a report summary (+ verbose escapes); exit code."""
     print(report.summary())
     if not report.complete and args.verbose:
-        for fault in report.escaped_faults:
-            print("  escape:", fault.name)
+        for record in report.escapes:
+            print("  escape:", record.fault.name, f"({record})")
     return 0 if report.complete else 1
+
+
+def _describe_word_mode(oracle) -> None:
+    if oracle.backgrounds is not None:
+        patterns = ", ".join(
+            background_str(bg) for bg in oracle.backgrounds)
+        print(f"word mode: width {oracle.width}, "
+              f"backgrounds [{patterns}]")
+
+
+def _cmd_coverage(args: argparse.Namespace) -> int:
+    km = known_march(args.test)
+    oracle = _make_oracle(args, _fault_list(args.fault_list))
+    _describe_word_mode(oracle)
+    return _report_outcome(oracle.evaluate(km.test), args)
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     test = parse_march(args.notation, name="cli march")
     test.check_consistency()
-    faults = _fault_list(args.fault_list)
-    oracle = CoverageOracle(
-        faults, lf3_layout=args.lf3_layout, backend=args.backend)
-    report = oracle.evaluate(test)
-    print(test.describe())
-    print(report.summary())
-    if not report.complete and args.verbose:
-        for fault in report.escaped_faults:
-            print("  escape:", fault.name)
-    return 0 if report.complete else 1
+    oracle = _make_oracle(args, _fault_list(args.fault_list))
+    if oracle.backgrounds is not None:
+        wordized = wordize(test, oracle.width, oracle.backgrounds)
+        print(wordized.describe())
+        for run in wordized.runs:
+            print(" ", run.notation())
+    else:
+        print(test.describe())
+    return _report_outcome(oracle.evaluate(test), args)
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
@@ -150,6 +187,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             lf3_layouts=tuple(args.lf3_layouts),
             workers=args.workers,
             backend=args.backend,
+            **_word_kwargs(args),
         )
     except ValueError as error:
         raise SystemExit(f"invalid campaign: {error}")
@@ -186,6 +224,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             allowed_orders=allowed_orders,
             workers=args.workers,
             backend=args.backend,
+            **_word_kwargs(args),
         )
     except ValueError as error:
         raise SystemExit(f"invalid generator configuration: {error}")
@@ -235,6 +274,22 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_word_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--width``/``--backgrounds`` word-mode flags."""
+    parser.add_argument(
+        "--width", type=int, default=1, metavar="W",
+        help="bits per word (default 1 = the paper's bit-oriented "
+             "model); W > 1 simulates a word-oriented memory -- "
+             "sizes count words, placements include intra-word lane "
+             "layouts and the march runs once per data background")
+    parser.add_argument(
+        "--backgrounds", nargs="+", metavar="BG",
+        help="word-mode data backgrounds: a named set (standard, "
+             "marching, solid) or explicit lane patterns such as "
+             "'0101 0011' (lane 0 first); default: the standard "
+             "ceil(log2 W)+1 set")
+
+
 def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
     """Attach the shared ``--backend`` simulation-kernel selector."""
     parser.add_argument(
@@ -270,6 +325,7 @@ def build_parser() -> argparse.ArgumentParser:
     coverage.add_argument("--lf3-layout", default="straddle",
                           choices=("straddle", "all"))
     _add_backend_argument(coverage)
+    _add_word_arguments(coverage)
     coverage.add_argument("--verbose", action="store_true")
     coverage.set_defaults(func=_cmd_coverage)
 
@@ -281,6 +337,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--lf3-layout", default="straddle",
                           choices=("straddle", "all"))
     _add_backend_argument(simulate)
+    _add_word_arguments(simulate)
     simulate.add_argument("--verbose", action="store_true")
     simulate.set_defaults(func=_cmd_simulate)
 
@@ -306,6 +363,7 @@ def build_parser() -> argparse.ArgumentParser:
              "N>1 fans the fault list out over a process pool with "
              "results identical to the serial run)")
     _add_backend_argument(generate)
+    _add_word_arguments(generate)
     generate.add_argument("--verbose", action="store_true")
     generate.set_defaults(func=_cmd_generate)
 
@@ -347,6 +405,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH",
         help="also write the full campaign report as JSON")
     _add_backend_argument(campaign)
+    _add_word_arguments(campaign)
     campaign.add_argument("--verbose", action="store_true")
     campaign.set_defaults(func=_cmd_campaign)
 

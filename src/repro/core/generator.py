@@ -49,6 +49,7 @@ from repro.sim.coverage import (
     TargetFault,
     fault_cells,
     make_instances,
+    normalize_word_mode,
 )
 from repro.sim.placements import DEFAULT_MEMORY_SIZE
 from repro.sim.sparse import BACKENDS
@@ -190,6 +191,15 @@ class MarchGenerator:
             :data:`repro.sim.sparse.BACKENDS`).  Backends are
             report-identical, so the generated march test does not
             depend on the choice.
+        width: bits per word; ``width > 1`` (or explicit
+            *backgrounds*) makes the whole pipeline word-oriented:
+            candidates are scored, pruned and finally qualified
+            against word-memory simulation (*memory_size* words,
+            intra-word placements, per-background passes).  Walker
+            proposals stay bit-level -- they are candidate heuristics;
+            acceptance is word-oracle-gated either way.
+        backgrounds: word-mode background set (named set or explicit
+            patterns; default: the standard ``ceil(log2 W) + 1`` set).
     """
 
     def __init__(
@@ -207,6 +217,8 @@ class MarchGenerator:
         exhaustive_limit: int = 6,
         workers: int = 1,
         backend: str = "auto",
+        width: int = 1,
+        backgrounds=None,
     ):
         if not faults:
             raise ValueError("the target fault list is empty")
@@ -238,6 +250,8 @@ class MarchGenerator:
                 f"unknown simulation backend {backend!r}; "
                 f"choose from {BACKENDS}")
         self.backend = backend
+        self.width, self.backgrounds = normalize_word_mode(
+            width, backgrounds)
         self._all_single_cell = all(
             fault_cells(f) == 1 for f in self.faults)
 
@@ -249,7 +263,7 @@ class MarchGenerator:
         start = time.perf_counter()
         oracle = IncrementalCoverage(
             self.faults, self.memory_size, self.exhaustive_limit,
-            self.lf3_layout, self.backend)
+            self.lf3_layout, self.backend, self.width, self.backgrounds)
         init_order = AddressOrder.ANY
         if self.allowed_orders is not None \
                 and AddressOrder.ANY not in self.allowed_orders:
@@ -280,7 +294,8 @@ class MarchGenerator:
         if self.prune_enabled:
             batch = CoverageOracle(
                 self.faults, self.memory_size, self.exhaustive_limit,
-                self.lf3_layout, self.backend)
+                self.lf3_layout, self.backend, self.width,
+                self.backgrounds)
             prune_result = prune_march(
                 unpruned, batch,
                 generalize_orders=self.generalize_orders)
@@ -313,7 +328,9 @@ class MarchGenerator:
             lf3_layouts=(self.lf3_layout,),
             workers=self.workers,
             exhaustive_limit=self.exhaustive_limit,
-            backend=self.backend)
+            backend=self.backend,
+            width=self.width,
+            backgrounds=self.backgrounds)
         return campaign.run().entries[0].report
 
     # ------------------------------------------------------------------

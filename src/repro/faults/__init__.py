@@ -47,6 +47,14 @@ from repro.faults.lists import (
     lf2va_faults,
     lf3_faults,
 )
+from repro.faults.backgrounds import (
+    Background,
+    marching_backgrounds,
+    resolve_backgrounds,
+    solid_backgrounds,
+    standard_backgrounds,
+    word_instances,
+)
 
 __all__ = [
     "Bit",
@@ -75,4 +83,10 @@ __all__ = [
     "lf2av_faults",
     "lf2va_faults",
     "lf3_faults",
+    "Background",
+    "marching_backgrounds",
+    "resolve_backgrounds",
+    "solid_backgrounds",
+    "standard_backgrounds",
+    "word_instances",
 ]

@@ -9,6 +9,7 @@ arbitrary ``⇕``, which the paper's Table 1 spells ``c``).
 from repro.march.element import AddressOrder, MarchElement
 from repro.march.test import MarchTest, parse_march
 from repro.march import known
+from repro.march.wordize import WordizedTest, wordize
 
 __all__ = [
     "AddressOrder",
@@ -16,4 +17,6 @@ __all__ = [
     "MarchTest",
     "parse_march",
     "known",
+    "WordizedTest",
+    "wordize",
 ]

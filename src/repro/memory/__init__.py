@@ -6,13 +6,25 @@
   faults to physical cells, producing executable fault instances;
 * :mod:`repro.memory.model` -- the fault-free Mealy automaton of
   Section 4 (Definition of ``M = (Q, X, Y, delta, lambda)``);
-* :mod:`repro.memory.graph` -- the labelled digraph ``G0`` (Figure 2).
+* :mod:`repro.memory.graph` -- the labelled digraph ``G0`` (Figure 2);
+* :mod:`repro.memory.word` -- the word-oriented substrate: W-bit words
+  over the cell-level fault model, data-background march execution and
+  the lane-sparse kernel;
+* :mod:`repro.memory.multiport` -- the dual-port substrate and weak
+  inter-port faults.
 """
 
 from repro.memory.sram import FaultyMemory
 from repro.memory.injection import BoundPrimitive, FaultInstance
 from repro.memory.model import MealyMemory
 from repro.memory.graph import MemoryGraph, build_memory_graph
+from repro.memory.word import (
+    SparseWordMemory,
+    WordDetectionSite,
+    WordMemory,
+    make_word_memory,
+    run_word_march,
+)
 
 __all__ = [
     "FaultyMemory",
@@ -21,4 +33,9 @@ __all__ = [
     "MealyMemory",
     "MemoryGraph",
     "build_memory_graph",
+    "SparseWordMemory",
+    "WordDetectionSite",
+    "WordMemory",
+    "make_word_memory",
+    "run_word_march",
 ]

@@ -75,6 +75,40 @@ def partition_primitives(
     )
 
 
+def replay_visits_with_cycle_detection(
+    state_key, one_visit, count: int
+) -> None:
+    """Replay *count* identical bound-cell visits, cycle-compressed.
+
+    The sparse kernels (bit-oriented and word-oriented) replay the
+    bound-cell side effects of long homogeneous segments: each visit
+    is a pure function of the bound-cell states (*state_key*), whose
+    space is tiny, so the trajectory must cycle and long segments
+    collapse to O(cycle length) literal visits.  Shared here -- below
+    both kernels -- because the algorithm is exactness-critical and
+    must not fork.
+
+    Args:
+        state_key: zero-argument callable returning a hashable key of
+            the bound-cell states.
+        one_visit: zero-argument callable applying one visit's effects.
+        count: number of visits to replay.
+    """
+    seen = {}
+    step = 0
+    while step < count:
+        key = state_key()
+        first_step = seen.get(key)
+        if first_step is not None:
+            cycle = step - first_step
+            for _ in range((count - step) % cycle):
+                one_visit()
+            return
+        seen[key] = step
+        one_visit()
+        step += 1
+
+
 class FaultyMemory:
     """An *n*-cell one-bit-per-cell SRAM with an injected fault.
 

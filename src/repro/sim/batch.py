@@ -55,6 +55,30 @@ def cached_order_resolutions(
     return tuple(order_resolutions(any_element_count, exhaustive_limit))
 
 
+def bind_placements(
+    fault: _Target, placements
+) -> Tuple[FaultInstance, ...]:
+    """Bind *fault* at every placement tuple (victim-last role order).
+
+    The single definition of the role-binding rules (linked faults via
+    :attr:`LinkedFault.role_labels`; simple two-cell primitives as
+    ``(aggressor, victim)``), shared by the bit-oriented placements
+    below and the word-oriented placements of
+    :mod:`repro.faults.backgrounds` so the two paths cannot drift.
+    """
+    instances: List[FaultInstance] = []
+    for cells in placements:
+        if isinstance(fault, LinkedFault):
+            instances.append(FaultInstance.from_linked(fault, cells))
+        elif fault.cells == 1:
+            instances.append(FaultInstance.from_simple(
+                fault, victim=cells[0]))
+        else:
+            instances.append(FaultInstance.from_simple(
+                fault, victim=cells[1], aggressor=cells[0]))
+    return tuple(instances)
+
+
 @lru_cache(maxsize=None)
 def cached_instances(
     fault: _Target, memory_size: int, lf3_layout: str = "straddle"
@@ -67,18 +91,9 @@ def cached_instances(
     the victim last (matching :attr:`LinkedFault.role_labels`); for
     simple two-cell primitives the tuple is ``(aggressor, victim)``.
     """
-    instances: List[FaultInstance] = []
-    for cells in cached_role_placements(
-            fault.cells, memory_size, lf3_layout):
-        if isinstance(fault, LinkedFault):
-            instances.append(FaultInstance.from_linked(fault, cells))
-        elif fault.cells == 1:
-            instances.append(FaultInstance.from_simple(
-                fault, victim=cells[0]))
-        else:
-            instances.append(FaultInstance.from_simple(
-                fault, victim=cells[1], aggressor=cells[0]))
-    return tuple(instances)
+    return bind_placements(
+        fault,
+        cached_role_placements(fault.cells, memory_size, lf3_layout))
 
 
 @lru_cache(maxsize=None)

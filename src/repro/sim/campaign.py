@@ -27,14 +27,20 @@ import json
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.faults.backgrounds import (
+    Background,
+    BackgroundsSpec,
+    background_str,
+)
 from repro.march.test import MarchTest
 from repro.sim.batch import auto_chunk_size, chunked
 from repro.sim.coverage import (
     CoverageReport,
     QualifyOutcome,
     TargetFault,
+    normalize_word_mode,
     qualify_outcomes,
     qualify_test,
     report_from_outcomes,
@@ -45,17 +51,29 @@ from repro.sim.sparse import BACKENDS
 
 @dataclass(frozen=True)
 class CampaignJob:
-    """One qualification unit: a test against a list in one geometry."""
+    """One qualification unit: a test against a list in one geometry.
+
+    ``width``/``backgrounds`` carry the campaign's word mode into each
+    job record (``memory_size`` counts words when ``width > 1``);
+    ``backgrounds`` is ``None`` on the bit path.
+    """
 
     test: MarchTest
     fault_list: str
     memory_size: int
     lf3_layout: str
+    width: int = 1
+    backgrounds: Optional[Tuple[Background, ...]] = None
 
     def describe(self) -> str:
-        return (
+        text = (
             f"{self.test.name} vs {self.fault_list} "
-            f"(n={self.memory_size}, lf3={self.lf3_layout})")
+            f"(n={self.memory_size}, lf3={self.lf3_layout}")
+        if self.backgrounds is not None:
+            text += (
+                f", width={self.width}, "
+                f"backgrounds={len(self.backgrounds)}")
+        return text + ")"
 
 
 @dataclass
@@ -77,6 +95,11 @@ class CampaignEntry:
             "fault_list": self.job.fault_list,
             "memory_size": self.job.memory_size,
             "lf3_layout": self.job.lf3_layout,
+            "width": self.job.width,
+            "backgrounds": (
+                None if self.job.backgrounds is None
+                else [background_str(bg) for bg in self.job.backgrounds]
+            ),
             "total": self.report.total,
             "coverage": self.report.coverage,
             "complete": self.report.complete,
@@ -87,6 +110,10 @@ class CampaignEntry:
                     "fault": record.fault.name,
                     "instance": record.instance.name,
                     "resolution": list(record.resolution),
+                    "background": (
+                        None if record.background is None
+                        else background_str(record.background)
+                    ),
                 }
                 for record in self.report.escapes
             ],
@@ -145,8 +172,8 @@ class CampaignResult:
         from repro.analysis.table import TextTable
 
         table = TextTable([
-            "March Test", "O(n)", "Fault List", "n", "LF3", "Cov %",
-            "Detected", "Escaped",
+            "March Test", "O(n)", "Fault List", "n", "W", "LF3",
+            "Cov %", "Detected", "Escaped",
         ])
         for entry in self.entries:
             report = entry.report
@@ -155,6 +182,7 @@ class CampaignResult:
                 f"{entry.job.test.complexity}n",
                 entry.job.fault_list,
                 str(entry.job.memory_size),
+                str(entry.job.width),
                 entry.job.lf3_layout,
                 f"{100.0 * report.coverage:.1f}",
                 str(len(report.detected_names)),
@@ -194,6 +222,15 @@ class CoverageCampaign:
             Reports are byte-identical across backends -- the sparse
             kernel is an exact O(1)-per-element-sweep replacement for
             the dense every-cell walk.
+        width: bits per word; ``width > 1`` (or explicit
+            *backgrounds*) runs every job word-oriented: memory sizes
+            count words, placements include intra-word lane layouts
+            and each test runs once per data background (coverage
+            aggregated across backgrounds).  Both backends remain
+            byte-identical in word mode.
+        backgrounds: word-mode background set (a named set --
+            ``"standard"``, ``"marching"``, ``"solid"`` -- or explicit
+            patterns; default: the standard ``ceil(log2 W) + 1`` set).
     """
 
     def __init__(
@@ -208,6 +245,8 @@ class CoverageCampaign:
         exhaustive_limit: int = 6,
         chunk_size: Optional[int] = None,
         backend: str = "auto",
+        width: int = 1,
+        backgrounds: Optional[BackgroundsSpec] = None,
     ):
         if isinstance(tests, MarchTest):
             tests = [tests]
@@ -226,6 +265,8 @@ class CoverageCampaign:
         for label, faults in self.fault_lists.items():
             if not faults:
                 raise ValueError(f"fault list {label!r} is empty")
+        self.width, self.backgrounds = normalize_word_mode(
+            width, backgrounds)
         self.memory_sizes = tuple(memory_sizes)
         if not self.memory_sizes:
             raise ValueError("a campaign needs at least one memory size")
@@ -237,7 +278,9 @@ class CoverageCampaign:
             if size < 1:
                 raise ValueError(f"memory size {size} must be positive")
             for label, widest in widest_per_list.items():
-                if size < widest:
+                # Word mode can host a fault intra-word even when the
+                # word count cannot spread its roles across words.
+                if size < widest and self.width < widest:
                     raise ValueError(
                         f"memory size {size} cannot host the "
                         f"{widest}-cell faults of list {label!r}")
@@ -265,7 +308,8 @@ class CoverageCampaign:
     def jobs(self) -> List[CampaignJob]:
         """The campaign's work units, in deterministic result order."""
         return [
-            CampaignJob(test, label, memory_size, lf3_layout)
+            CampaignJob(test, label, memory_size, lf3_layout,
+                        self.width, self.backgrounds)
             for test in self.tests
             for label in self.fault_lists
             for memory_size in self.memory_sizes
@@ -300,6 +344,8 @@ class CoverageCampaign:
             self.exhaustive_limit,
             job.lf3_layout,
             self.backend,
+            job.width,
+            job.backgrounds,
         )
 
     def _run_parallel(
@@ -322,7 +368,8 @@ class CoverageCampaign:
                     pool.submit(
                         qualify_outcomes, job.test, chunk,
                         job.memory_size, self.exhaustive_limit,
-                        job.lf3_layout, self.backend)
+                        job.lf3_layout, self.backend,
+                        job.width, job.backgrounds)
                     for chunk in chunks
                 ]
                 for job, chunks in zip(jobs, job_chunks)

@@ -16,8 +16,16 @@ Two oracles share the same detection semantics:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.faults.backgrounds import (
+    WORD_CACHES as _PLACEMENT_WORD_CACHES,
+    Background,
+    BackgroundsSpec,
+    background_str,
+    resolve_backgrounds,
+    word_instances,
+)
 from repro.faults.linked import LinkedFault
 from repro.faults.primitives import FaultPrimitive
 from repro.faults.values import DONT_CARE, pack_word
@@ -25,13 +33,46 @@ from repro.march.element import AddressOrder, MarchElement
 from repro.march.test import MarchTest
 from repro.memory.injection import FaultInstance
 from repro.memory.sram import FaultyMemory
-from repro.sim.batch import cached_instances
+from repro.memory.word import (
+    WORD_CACHES as _ENGINE_WORD_CACHES,
+    make_word_memory,
+    run_word_element,
+    word_blank_snapshot,
+    word_detects_instance,
+)
+from repro.sim.batch import cached_instances, register_cache
 from repro.sim.engine import detects_instance, run_element
 from repro.sim.placements import DEFAULT_MEMORY_SIZE
 from repro.sim.sparse import blank_snapshot, make_memory, resolve_backend
 
+# The word-mode modules live below the simulation layer and cannot
+# import :mod:`repro.sim.batch` at module level (see their import
+# notes); their memoized helpers are registered with the shared
+# cache-clearing hook here, by the module that makes them hot.
+for _cache in _PLACEMENT_WORD_CACHES + _ENGINE_WORD_CACHES:
+    register_cache(_cache)
+
 #: A coverage target: either a linked fault or a simple fault primitive.
 TargetFault = Union[LinkedFault, FaultPrimitive]
+
+
+def normalize_word_mode(
+    width: int, backgrounds: Optional[BackgroundsSpec]
+) -> Tuple[int, Optional[Tuple[Background, ...]]]:
+    """Resolve the ``(width, backgrounds)`` pair every oracle accepts.
+
+    ``width == 1`` with no explicit backgrounds is the bit-oriented
+    path (``backgrounds`` resolves to ``None`` and nothing changes);
+    any other combination resolves to word mode with a concrete
+    background tuple (the standard set when unspecified).  Passing
+    ``backgrounds=((0,),)`` at width 1 forces the word path through a
+    1-bit word memory -- the equivalence the width-1 regression pins.
+    """
+    if width < 1:
+        raise ValueError("word width must be positive")
+    if backgrounds is None and width == 1:
+        return 1, None
+    return width, resolve_backgrounds(backgrounds, width)
 
 
 def fault_name(fault: TargetFault) -> str:
@@ -60,15 +101,27 @@ def make_instances(
 
 @dataclass
 class EscapeRecord:
-    """A fault a march test failed to detect, with a witness."""
+    """A fault a march test failed to detect, with a witness.
+
+    ``background`` names the escaping data background of a
+    word-oriented qualification (``None`` on the bit path).  A word
+    witness means: the ``(background, resolution)`` run shown escapes,
+    and -- since a fault is caught when any background detects under
+    all of its resolutions -- every *other* background also has some
+    escaping resolution.
+    """
 
     fault: TargetFault
     instance: FaultInstance
     resolution: Tuple[bool, ...]
+    background: Optional[Background] = None
 
     def __str__(self) -> str:
         res = "".join("D" if d else "U" for d in self.resolution) or "-"
-        return f"{self.instance.name} (⇕ resolution {res})"
+        text = f"{self.instance.name} (⇕ resolution {res})"
+        if self.background is not None:
+            text += f" [bg={background_str(self.background)}]"
+        return text
 
 
 @dataclass
@@ -168,6 +221,14 @@ class CoverageOracle:
         backend: simulation backend selector (``"auto"`` default --
             the sparse kernel whenever the fault list's semantics
             allow; see :data:`repro.sim.sparse.BACKENDS`).
+        width: bits per word; ``width > 1`` (or explicit
+            *backgrounds*) qualifies word-oriented: ``memory_size``
+            counts words, placements include intra-word lane layouts,
+            and the march runs once per data background (see
+            :mod:`repro.faults.backgrounds`).
+        backgrounds: background set for word mode (named set or
+            explicit patterns; default: the standard
+            ``ceil(log2 W) + 1`` set).
     """
 
     def __init__(
@@ -177,16 +238,27 @@ class CoverageOracle:
         exhaustive_limit: int = 6,
         lf3_layout: str = "straddle",
         backend: str = "auto",
+        width: int = 1,
+        backgrounds: Optional[BackgroundsSpec] = None,
     ):
         self.faults = list(faults)
         self.memory_size = memory_size
         self.exhaustive_limit = exhaustive_limit
         self.lf3_layout = lf3_layout
         self.backend = resolve_backend(backend, self.faults, memory_size)
-        self._instances: Dict[str, List[FaultInstance]] = {
-            fault_name(f): make_instances(f, memory_size, lf3_layout)
-            for f in self.faults
-        }
+        self.width, self.backgrounds = normalize_word_mode(
+            width, backgrounds)
+        if self.backgrounds is None:
+            self._instances: Dict[str, List[FaultInstance]] = {
+                fault_name(f): make_instances(f, memory_size, lf3_layout)
+                for f in self.faults
+            }
+        else:
+            self._instances = {
+                fault_name(f): list(word_instances(
+                    f, memory_size, self.width, lf3_layout))
+                for f in self.faults
+            }
 
     def instances_of(self, fault: TargetFault) -> List[FaultInstance]:
         """The bound placements qualifying *fault*."""
@@ -194,6 +266,14 @@ class CoverageOracle:
 
     def detects(self, test: MarchTest, fault: TargetFault) -> bool:
         """Does *test* detect every placement of *fault*?"""
+        if self.backgrounds is not None:
+            return all(
+                word_detects_instance(
+                    test, instance, self.memory_size, self.width,
+                    self.backgrounds, self.exhaustive_limit,
+                    self.backend)
+                for instance in self._instances[fault_name(fault)]
+            )
         return all(
             detects_instance(
                 test, instance, self.memory_size, self.exhaustive_limit,
@@ -211,14 +291,18 @@ class CoverageOracle:
         """
         return qualify_test(
             test, self.faults, self.memory_size, self.exhaustive_limit,
-            self.lf3_layout, self.backend)
+            self.lf3_layout, self.backend, self.width, self.backgrounds)
 
 
 #: Per-fault qualification outcome: ``(detected, witness_instance,
-#: witness_resolution)`` -- the witness fields are ``None`` when
-#: detected.
+#: witness_resolution, witness_background)`` -- the witness fields are
+#: ``None`` when detected, and the background also on the bit path.
 QualifyOutcome = Tuple[
-    bool, Union[FaultInstance, None], Union[Tuple[bool, ...], None]]
+    bool,
+    Union[FaultInstance, None],
+    Union[Tuple[bool, ...], None],
+    Union[Background, None],
+]
 
 
 def qualify_outcomes(
@@ -228,6 +312,8 @@ def qualify_outcomes(
     exhaustive_limit: int = 6,
     lf3_layout: str = "straddle",
     backend: str = "auto",
+    width: int = 1,
+    backgrounds: Optional[BackgroundsSpec] = None,
 ) -> Tuple[List[QualifyOutcome], int]:
     """Per-fault outcomes of qualifying *test*, in fault-list order.
 
@@ -244,17 +330,18 @@ def qualify_outcomes(
         ``(outcomes, contexts_simulated)`` with one outcome per fault.
     """
     incremental = IncrementalCoverage(
-        faults, memory_size, exhaustive_limit, lf3_layout, backend)
+        faults, memory_size, exhaustive_limit, lf3_layout, backend,
+        width, backgrounds)
     for element in test.elements:
         incremental.append(element)
     covered = incremental.covered_indexes()
     outcomes: List[QualifyOutcome] = []
     for index in range(len(faults)):
         if index in covered:
-            outcomes.append((True, None, None))
+            outcomes.append((True, None, None, None))
         else:
-            instance, resolution = incremental.witness_for(index)
-            outcomes.append((False, instance, resolution))
+            outcomes.append(
+                (False,) + incremental.witness_record(index))
     return outcomes, incremental.contexts_simulated
 
 
@@ -271,12 +358,13 @@ def report_from_outcomes(
     guarantee cannot drift between two copies of this loop.
     """
     report = CoverageReport(test_name=test_name)
-    for fault, (detected, instance, resolution) in zip(faults, outcomes):
+    for fault, (detected, instance, resolution, background) \
+            in zip(faults, outcomes):
         if detected:
             report.detected.append(fault)
         else:
             report.escapes.append(
-                EscapeRecord(fault, instance, resolution))
+                EscapeRecord(fault, instance, resolution, background))
     report.contexts_simulated = contexts_simulated
     return report
 
@@ -288,10 +376,20 @@ def qualify_test(
     exhaustive_limit: int = 6,
     lf3_layout: str = "straddle",
     backend: str = "auto",
+    width: int = 1,
+    backgrounds: Optional[BackgroundsSpec] = None,
 ) -> CoverageReport:
-    """Qualify one march test against one fault list, serially."""
+    """Qualify one march test against one fault list, serially.
+
+    ``width > 1`` (or explicit *backgrounds*) qualifies the
+    word-oriented campaign of the test: *memory_size* words of *width*
+    bits, one pass per background, coverage aggregated across
+    backgrounds (a placement is caught when some background detects it
+    under every ``⇕`` resolution of its pass).
+    """
     outcomes, contexts = qualify_outcomes(
-        test, faults, memory_size, exhaustive_limit, lf3_layout, backend)
+        test, faults, memory_size, exhaustive_limit, lf3_layout, backend,
+        width, backgrounds)
     return report_from_outcomes(test.name, faults, outcomes, contexts)
 
 
@@ -314,6 +412,10 @@ class _Context:
     resolution: Tuple[bool, ...]
     snapshot: int
     previous: object = None  # PreviousOperation pairing state
+    #: Index into the oracle's background tuple (word mode); ``-1`` on
+    #: the bit path.  Contexts of different backgrounds never merge --
+    #: their futures run under different value mappings.
+    background: int = -1
 
 
 class IncrementalCoverage:
@@ -332,12 +434,16 @@ class IncrementalCoverage:
         exhaustive_limit: int = 6,
         lf3_layout: str = "straddle",
         backend: str = "auto",
+        width: int = 1,
+        backgrounds: Optional[BackgroundsSpec] = None,
     ):
         self.faults = list(faults)
         self.memory_size = memory_size
         self.exhaustive_limit = exhaustive_limit
         self.lf3_layout = lf3_layout
         self.backend = resolve_backend(backend, self.faults, memory_size)
+        self.width, self.backgrounds = normalize_word_mode(
+            width, backgrounds)
         self._element_count = 0
         self._pending: List[_Context] = []
         #: Pending contexts grouped by fault index, in pending order --
@@ -359,6 +465,9 @@ class IncrementalCoverage:
         #: long as the pool entry exists.
         self._memories: Dict[int, FaultyMemory] = {}
         self.contexts_simulated = 0
+        if self.backgrounds is not None:
+            self._init_word_contexts()
+            return
         dense_blank = pack_word((DONT_CARE,) * memory_size)
         for index, fault in enumerate(self.faults):
             instances = cached_instances(fault, memory_size, lf3_layout)
@@ -369,6 +478,34 @@ class IncrementalCoverage:
                 else:
                     blank = dense_blank
                 contexts.append(_Context(index, instance, (), blank))
+            self._pending.extend(contexts)
+            self._pending_by_fault[index] = contexts
+
+    def _init_word_contexts(self) -> None:
+        """Seed word-mode contexts: instances x data backgrounds.
+
+        ``memory_size`` counts words; placements cover both inter-word
+        and intra-word layouts.  Every instance forks one context per
+        background -- each background replays the whole march from a
+        fresh memory.
+        """
+        dense_blank = word_blank_snapshot(
+            None, self.memory_size, self.width, "dense")
+        for index, fault in enumerate(self.faults):
+            instances = word_instances(
+                fault, self.memory_size, self.width, self.lf3_layout)
+            contexts = []
+            for instance in instances:
+                if self.backend == "sparse":
+                    blank = word_blank_snapshot(
+                        instance, self.memory_size, self.width,
+                        "sparse")
+                else:
+                    blank = dense_blank
+                for bg_index in range(len(self.backgrounds)):
+                    contexts.append(_Context(
+                        index, instance, (), blank,
+                        background=bg_index))
             self._pending.extend(contexts)
             self._pending_by_fault[index] = contexts
 
@@ -421,13 +558,32 @@ class IncrementalCoverage:
         ctx = contexts[0]
         return ctx.instance, ctx.resolution
 
+    def witness_record(
+        self, index: int
+    ) -> Tuple[FaultInstance, Tuple[bool, ...], Optional[Background]]:
+        """:meth:`witness_for` plus the escaping data background.
+
+        The background is ``None`` on the bit path; in word mode it
+        names the background of the witnessed escaping run (every
+        other background also escapes under some resolution, or the
+        instance would have been retired).
+        """
+        contexts = self._pending_by_fault.get(index)
+        if not contexts:
+            raise KeyError(f"fault index {index} has no pending context")
+        ctx = contexts[0]
+        background = (
+            None if self.backgrounds is None
+            else self.backgrounds[ctx.background])
+        return ctx.instance, ctx.resolution, background
+
     # ------------------------------------------------------------------
     # Advancing
     # ------------------------------------------------------------------
     def append(self, element: MarchElement) -> Set[int]:
         """Commit *element*; return indices of newly covered faults."""
         survivors = self._advance(self._pending, element)
-        self._pending = self._dedup(survivors)
+        self._pending = self._retire_detected(self._dedup(survivors))
         self._pending_by_fault = {}
         for ctx in self._pending:
             self._pending_by_fault.setdefault(
@@ -455,7 +611,8 @@ class IncrementalCoverage:
             elements = [elements]
         pending = self._pending
         for element in elements:
-            pending = self._dedup(self._advance(pending, element))
+            pending = self._retire_detected(
+                self._dedup(self._advance(pending, element)))
         pending_after: Dict[int, int] = {}
         for ctx in pending:
             pending_after[ctx.fault_index] = (
@@ -482,14 +639,21 @@ class IncrementalCoverage:
         else:
             directions = (False, True)
         survivors: List[_Context] = []
+        word = self.backgrounds is not None
         for ctx in pending:
             memory = self._memory_for(ctx.instance)
             for descending in directions:
                 memory.load_packed(ctx.snapshot)
                 memory.previous_operation = ctx.previous
                 self.contexts_simulated += 1
-                site = run_element(
-                    element, self._element_count, memory, descending)
+                if word:
+                    site = run_word_element(
+                        element, self._element_count, memory,
+                        descending, self.backgrounds[ctx.background])
+                else:
+                    site = run_element(
+                        element, self._element_count, memory,
+                        descending)
                 if site is not None:
                     continue
                 survivors.append(_Context(
@@ -499,20 +663,59 @@ class IncrementalCoverage:
                                       if len(directions) == 2 else ()),
                     memory.packed_state(),
                     memory.previous_operation,
+                    ctx.background,
                 ))
         return survivors
+
+    def _retire_detected(
+        self, contexts: List[_Context]
+    ) -> List[_Context]:
+        """Drop every context of an instance some background caught.
+
+        Word-mode aggregation: each background replays the march from
+        scratch, so an instance is *detected* as soon as one background
+        has no surviving context (that background catches it under
+        every ``⇕`` resolution) -- the other backgrounds' pending
+        contexts are then irrelevant and retired.  Detection within a
+        background is monotone, so retiring early commits nothing that
+        a later element could undo.  No-op on the bit path and with a
+        single background (the only background's contexts are already
+        gone when it detects).
+        """
+        if self.backgrounds is None or len(self.backgrounds) == 1:
+            return contexts
+        present: Dict[Tuple[int, int], Set[int]] = {}
+        for ctx in contexts:
+            present.setdefault(
+                (ctx.fault_index, id(ctx.instance)), set()).add(
+                ctx.background)
+        total = len(self.backgrounds)
+        detected = {
+            key for key, bgs in present.items() if len(bgs) < total}
+        if not detected:
+            return contexts
+        return [
+            ctx for ctx in contexts
+            if (ctx.fault_index, id(ctx.instance)) not in detected
+        ]
 
     def _memory_for(self, instance: FaultInstance) -> FaultyMemory:
         """The pooled reusable memory bound to *instance*."""
         memory = self._memories.get(id(instance))
         if memory is None:
-            memory = make_memory(self.memory_size, instance, self.backend)
+            if self.backgrounds is not None:
+                memory = make_word_memory(
+                    self.memory_size, self.width, instance,
+                    self.backend)
+            else:
+                memory = make_memory(
+                    self.memory_size, instance, self.backend)
             self._memories[id(instance)] = memory
         return memory
 
     @staticmethod
     def _dedup(contexts: List[_Context]) -> List[_Context]:
-        """Merge contexts sharing (fault, instance, memory state).
+        """Merge contexts sharing (fault, instance, bg, memory state).
 
         Two undetected contexts with identical snapshots (cells plus
         dynamic pairing state) have identical futures; keeping one
@@ -522,13 +725,14 @@ class IncrementalCoverage:
         memory-pool note above), and merging their contexts would
         silently drop one fault's simulation.  Identity is stable here
         because every context holds a strong reference to its
-        instance.
+        instance.  The background index is part of the key: identical
+        states under different backgrounds have different futures.
         """
         seen: Set[Tuple] = set()
         unique: List[_Context] = []
         for ctx in contexts:
             key = (ctx.fault_index, id(ctx.instance), ctx.snapshot,
-                   ctx.previous)
+                   ctx.previous, ctx.background)
             if key in seen:
                 continue
             seen.add(key)

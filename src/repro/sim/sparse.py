@@ -57,7 +57,11 @@ from repro.faults.values import (
 )
 from repro.march.element import AddressOrder, MarchElement
 from repro.memory.injection import FaultInstance
-from repro.memory.sram import FaultyMemory, partition_primitives
+from repro.memory.sram import (
+    FaultyMemory,
+    partition_primitives,
+    replay_visits_with_cycle_detection,
+)
 from repro.sim.batch import cached_segment_walks, register_cache
 
 #: Recognized simulation backend selectors.  ``"auto"`` resolves to
@@ -396,19 +400,10 @@ class SparseMemory(FaultyMemory):
             return
         waits = tuple(op.is_wait for op in ops)
         bound = self._cells.bound
-        seen = {}
-        step = 0
-        while step < count:
-            key = tuple(bound.values())
-            first_step = seen.get(key)
-            if first_step is not None:
-                cycle = step - first_step
-                for _ in range((count - step) % cycle):
-                    self._one_visit(waits)
-                return
-            seen[key] = step
-            self._one_visit(waits)
-            step += 1
+        replay_visits_with_cycle_detection(
+            lambda: tuple(bound.values()),
+            lambda: self._one_visit(waits),
+            count)
 
     def _one_visit(self, waits: Tuple[bool, ...]) -> None:
         """Bound-cell effects of one cell visit (one op sequence)."""

@@ -1,0 +1,111 @@
+"""Shared differential-test harness.
+
+Every suite that claims two execution paths are *identical* -- sparse
+kernel vs dense oracle, parallel campaign vs serial campaign, word
+memory vs bit memory, dual-port coverage across geometries -- goes
+through the helpers here instead of hand-rolling its own comparison.
+One definition of "identical" (every observable report field,
+witness identity included) keeps the suites honest with each other and
+makes qualifying the next backend a one-liner.
+"""
+
+import hypothesis.strategies as st
+
+from repro.faults.operations import read, wait, write
+from repro.march.element import AddressOrder, MarchElement
+from repro.march.test import MarchTest
+from repro.sim.coverage import qualify_test
+
+
+def report_key(report):
+    """Every observable field of a coverage report, as a plain tuple.
+
+    Witness *identity* is part of the contract: an alternative backend
+    must report the same escaping instance, resolution and (in word
+    mode) data background, not merely the same coverage ratio.
+    """
+    return (
+        report.test_name,
+        report.total,
+        report.coverage,
+        report.contexts_simulated,
+        list(report.detected_names),
+        [fault.name for fault in report.detected],
+        [
+            (record.fault.name, record.instance.name,
+             record.resolution, record.background)
+            for record in report.escapes
+        ],
+    )
+
+
+def assert_backends_identical(
+    test, faults, size=3, layout="straddle",
+    width=1, backgrounds=None, exhaustive_limit=6,
+):
+    """Pin the sparse kernel byte-for-byte against the dense oracle.
+
+    Works on both memory models: the bit path (default) and the
+    word-oriented path (``width > 1`` or explicit *backgrounds*).
+    Returns the dense report so callers can make further assertions.
+    """
+    dense = qualify_test(
+        test, faults, size, exhaustive_limit, layout, "dense",
+        width, backgrounds)
+    sparse = qualify_test(
+        test, faults, size, exhaustive_limit, layout, "sparse",
+        width, backgrounds)
+    assert report_key(dense) == report_key(sparse)
+    return dense
+
+
+def entry_dicts(result):
+    """A campaign result's timing-free JSON form, entry by entry."""
+    return [entry.to_dict() for entry in result.entries]
+
+
+def assert_campaigns_identical(result_a, result_b):
+    """Pin two campaign runs (e.g. serial vs parallel) entry-for-entry."""
+    assert entry_dicts(result_a) == entry_dicts(result_b)
+
+
+def stratified(faults, count):
+    """An evenly spaced sample preserving fault-list order."""
+    if len(faults) <= count:
+        return list(faults)
+    step = len(faults) // count
+    return list(faults[::step][:count])
+
+
+def dual_port_outcome_key(detected, escaped):
+    """Order-free form of a ``dual_port_coverage`` outcome pair."""
+    return (
+        sorted(fp.name for fp in detected),
+        sorted(fp.name for fp in escaped),
+    )
+
+
+_bits = st.integers(min_value=0, max_value=1)
+
+
+@st.composite
+def random_marches(draw):
+    """Arbitrary march tests: waits, expectation-free and even
+    *inconsistent* reads included -- differential suites must agree on
+    any test, not only on fault-free-consistent ones."""
+    elements = []
+    for _ in range(draw(st.integers(min_value=1, max_value=5))):
+        ops = []
+        for _ in range(draw(st.integers(min_value=1, max_value=5))):
+            choice = draw(st.integers(min_value=0, max_value=3))
+            if choice == 0:
+                ops.append(write(draw(_bits)))
+            elif choice == 1:
+                ops.append(read(draw(_bits)))
+            elif choice == 2:
+                ops.append(read(None))
+            else:
+                ops.append(wait())
+        elements.append(MarchElement(
+            draw(st.sampled_from(list(AddressOrder))), tuple(ops)))
+    return MarchTest("random march", tuple(elements))

@@ -12,6 +12,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from harness import assert_campaigns_identical, entry_dicts
 from repro.faults.library import fp_by_name
 from repro.faults.lists import (
     fault_list_1,
@@ -31,10 +32,6 @@ from repro.sim.placements import order_resolutions
 FL1 = fault_list_1()
 FL2 = fault_list_2()
 KNOWN_TESTS = [km.test for km in ALL_KNOWN.values()]
-
-
-def entry_dicts(result):
-    return [entry.to_dict() for entry in result.entries]
 
 
 # ----------------------------------------------------------------------
@@ -152,7 +149,7 @@ class TestCampaignIdentity:
         parallel = CoverageCampaign(
             KNOWN_TESTS, {"FL#2": FL2}, workers=2,
             **campaign_kwargs).run()
-        assert entry_dicts(serial) == entry_dicts(parallel)
+        assert_campaigns_identical(serial, parallel)
 
     def test_parallel_matches_serial_on_fault_list_1(self):
         tests = [known_march("March SL").test,
@@ -160,7 +157,7 @@ class TestCampaignIdentity:
         serial = CoverageCampaign(tests, {"FL#1": FL1}, workers=1).run()
         parallel = CoverageCampaign(
             tests, {"FL#1": FL1}, workers=2).run()
-        assert entry_dicts(serial) == entry_dicts(parallel)
+        assert_campaigns_identical(serial, parallel)
 
     def test_serial_campaign_is_the_oracle_path(self):
         oracle = CoverageOracle(FL2)
@@ -220,7 +217,7 @@ class TestCampaignIdentity:
         assert report.coverage == 0.0
         parallel = CoverageCampaign(
             [test], {"dup": faults}, workers=2, chunk_size=1).run()
-        assert entry_dicts(serial) == entry_dicts(parallel)
+        assert_campaigns_identical(serial, parallel)
 
     def test_qualify_test_independent_of_list_partition(self):
         """Per-fault outcomes do not depend on list neighbours."""
@@ -442,6 +439,34 @@ class TestCampaignCli:
             "cpu_count": 8,
         }
         assert any("slower" in f for f in gate(payload))
+
+    def test_bench_campaign_gate_fails_on_word_divergence(self):
+        from benchmarks.bench_campaign import gate
+
+        payload = {
+            "identical": True,
+            "speed_gate_applies": False,
+            "speedup": 1.0,
+            "min_speedup": 1.0,
+            "cpu_count": 2,
+            "width_sweep": {"entries": [
+                {"width": 4, "identical": False},
+                {"width": 8, "identical": True},
+            ]},
+        }
+        failures = gate(payload)
+        assert any("width 4" in f for f in failures)
+        assert not any("width 8" in f for f in failures)
+
+    def test_bench_width_sweep_runs_identical(self):
+        from benchmarks.bench_campaign import run_width_sweep
+
+        payload = run_width_sweep([2])
+        entry = payload["entries"][0]
+        assert entry["width"] == 2
+        assert entry["identical"] is True
+        assert entry["dense"]["contexts_simulated"] == \
+            entry["sparse"]["contexts_simulated"]
 
 
 class TestGeneratorCampaignQualification:

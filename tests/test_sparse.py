@@ -23,14 +23,13 @@ import hypothesis.strategies as st
 import pytest
 from hypothesis import HealthCheck, given, settings
 
+from harness import assert_backends_identical, random_marches, stratified
 from repro.faults.dynamic import dynamic_faults
 from repro.faults.library import fp_by_name
 from repro.faults.lists import fault_list_1, fault_list_2
-from repro.faults.operations import read, wait, write
 from repro.faults.values import DONT_CARE
-from repro.march.element import AddressOrder, MarchElement
 from repro.march.known import ALL_KNOWN
-from repro.march.test import MarchTest, parse_march
+from repro.march.test import parse_march
 from repro.memory.sram import FaultyMemory, partition_primitives
 from repro.sim.coverage import make_instances, qualify_test
 from repro.sim.engine import detects_instance, escape_sites, run_march
@@ -46,41 +45,6 @@ from repro.sim.sparse import (
 #: The acceptance matrix of the sparse-kernel issue.
 SIZES = (3, 5, 16, 64)
 LAYOUTS = ("straddle", "all")
-
-
-def report_key(report):
-    """Every observable field of a coverage report, as a plain tuple.
-
-    Witness *identity* is part of the contract: the sparse backend
-    must report the same escaping instance and resolution, not merely
-    the same coverage ratio.
-    """
-    return (
-        report.test_name,
-        report.total,
-        report.coverage,
-        report.contexts_simulated,
-        list(report.detected_names),
-        [fault.name for fault in report.detected],
-        [
-            (record.fault.name, record.instance.name, record.resolution)
-            for record in report.escapes
-        ],
-    )
-
-
-def assert_backends_identical(test, faults, size, layout):
-    dense = qualify_test(test, faults, size, 6, layout, "dense")
-    sparse = qualify_test(test, faults, size, 6, layout, "sparse")
-    assert report_key(dense) == report_key(sparse)
-
-
-def stratified(faults, count):
-    """An evenly spaced sample preserving fault-list order."""
-    if len(faults) <= count:
-        return list(faults)
-    step = len(faults) // count
-    return list(faults[::step][:count])
 
 
 # ----------------------------------------------------------------------
@@ -184,34 +148,8 @@ class TestWaitAndDynamicPaths:
 
 
 # ----------------------------------------------------------------------
-# Hypothesis: randomized march tests
+# Hypothesis: randomized march tests (strategy shared via harness)
 # ----------------------------------------------------------------------
-
-bits = st.integers(min_value=0, max_value=1)
-
-
-@st.composite
-def random_marches(draw):
-    """Arbitrary march tests: waits, expectation-free and even
-    *inconsistent* reads included -- the kernels must agree on any
-    test, not only on fault-free-consistent ones."""
-    elements = []
-    for _ in range(draw(st.integers(min_value=1, max_value=5))):
-        ops = []
-        for _ in range(draw(st.integers(min_value=1, max_value=5))):
-            choice = draw(st.integers(min_value=0, max_value=3))
-            if choice == 0:
-                ops.append(write(draw(bits)))
-            elif choice == 1:
-                ops.append(read(draw(bits)))
-            elif choice == 2:
-                ops.append(read(None))
-            else:
-                ops.append(wait())
-        elements.append(MarchElement(
-            draw(st.sampled_from(list(AddressOrder))), tuple(ops)))
-    return MarchTest("random march", tuple(elements))
-
 
 # A pool mixing every fault family the simulator knows: linked
 # (1/2/3-cell), state maskers, DRF and dynamic pairs.
