@@ -19,6 +19,21 @@ width, dense vs lane-sparse kernel, appended to the main payload as
 ``width_sweep`` so word-mode performance and cross-backend identity
 enter the same regression gate.
 
+With ``--store`` the script additionally runs the **qualification
+store leg**: the same serial workload cold (fresh store, all misses)
+and then warm (second run against the now-populated store, all hits),
+appended as ``store`` -- the warm run must be at least
+``--min-store-speedup`` (default 10) times faster *and* its
+deterministic report must be byte-identical to the cold run's.
+
+Output files keep a bounded **history**: each run appends a compact
+timing record per benchmark key (workload, ``size=N``, ``width=W``,
+``store``) and the per-key history is capped at the last
+``--history-cap`` (default 20) records -- so the artifact keeps
+enough trend to eyeball regressions without growing unboundedly,
+while the gate's baseline lookup (the top-level current-run payload)
+is untouched.
+
 As a CI gate (``--gate``) the script fails when:
 
 * the parallel campaign's reports differ from the serial ones in any
@@ -34,7 +49,12 @@ As a CI gate (``--gate``) the script fails when:
   this applies on **any** core count: the win is algorithmic
   (O(bound cells) vs O(size) per element sweep), not parallelism; or
 * (with ``--widths``) the dense and lane-sparse word kernels diverge
-  at any width (never acceptable, on any machine).
+  at any width (never acceptable, on any machine); or
+* (with ``--store``) the warm (all-hits) report differs from the cold
+  run's in any byte (never acceptable), or the warm run is slower
+  than ``--min-store-speedup`` × cold on **any** machine -- serving a
+  hit is a key lookup plus JSON decode, so the win is algorithmic,
+  not hardware.
 
 Usage::
 
@@ -53,6 +73,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.faults.lists import fault_list_1, fault_list_2
 from repro.march.known import ALL_KNOWN
 from repro.sim.campaign import CampaignResult, CoverageCampaign
+from repro.store import QualificationStore
 
 
 def _workload(name: str) -> Dict[str, object]:
@@ -128,11 +149,12 @@ def _run(
     backend: str = "auto",
     width: int = 1,
     backgrounds=None,
+    store=None,
 ) -> CampaignResult:
     campaign = CoverageCampaign(
         workload["tests"], workload["fault_lists"], workers=workers,
         memory_sizes=tuple(memory_sizes), backend=backend, width=width,
-        backgrounds=backgrounds)
+        backgrounds=backgrounds, store=store)
     return campaign.run()
 
 
@@ -252,6 +274,152 @@ def run_width_sweep(widths: Sequence[int]) -> Dict[str, object]:
     }
 
 
+def run_store_leg(
+    workload_name: str,
+    min_store_speedup: float,
+    sizes: Sequence[int] = (3,),
+    widths: Sequence[int] = (1,),
+    store_path: Optional[str] = None,
+) -> Dict[str, object]:
+    """Cold-vs-warm qualification-store benchmark, gate-ready payload.
+
+    Runs the serial workload once against a fresh store (cold: every
+    job simulates and is recorded) and once more against the same
+    store (warm: every job is a content-address hit, zero
+    simulation).  The warm report must be byte-identical to the cold
+    one and the wall-time ratio is the acceptance-criterion speedup.
+    ``sizes``/``widths`` > 1 entry sweep the same store across
+    geometries, mirroring the nightly CI workload; *store_path*
+    defaults to an in-memory store (the CI artifact flow passes a
+    file).
+    """
+    workload = _workload(workload_name)
+    word_workload = _word_workload()
+    if store_path and os.path.exists(store_path):
+        # The leg's contract is a genuinely cold first pass; a
+        # leftover store from a previous run (same workspace, reused
+        # runner) would silently serve it warm and false-fail the
+        # >= min_store_speedup gate.
+        os.remove(store_path)
+    store = QualificationStore(store_path or ":memory:")
+    try:
+        entries = []
+        for width in widths:
+            for size in sizes:
+                kwargs: Dict[str, object] = {
+                    "memory_sizes": (size,), "width": width}
+                if width > 1:
+                    # Word mode multiplies cost by width x backgrounds;
+                    # the compact word workload (same as the width
+                    # sweep) keeps the cold leg affordable.
+                    kwargs["backgrounds"] = "standard"
+                load = workload if width == 1 else word_workload
+                cold = _run(load, workers=1, store=store, **kwargs)
+                warm = _run(load, workers=1, store=store, **kwargs)
+                identical = cold.report_json() == warm.report_json()
+                speedup = (
+                    cold.wall_seconds / warm.wall_seconds
+                    if warm.wall_seconds > 0 else float("inf"))
+                entries.append({
+                    "memory_size": size,
+                    "width": width,
+                    "cold": _timing(cold),
+                    "warm": _timing(warm),
+                    "cold_store": {
+                        "hits": cold.store_hits,
+                        "misses": cold.store_misses},
+                    "warm_store": {
+                        "hits": warm.store_hits,
+                        "misses": warm.store_misses},
+                    "speedup": speedup,
+                    "identical": identical,
+                })
+        return {
+            "workload": workload_name,
+            "store_rows": len(store),
+            "store_stats": store.stats(),
+            "min_store_speedup": min_store_speedup,
+            "entries": entries,
+        }
+    finally:
+        store.close()
+
+
+def _history_records(payload: Dict[str, object]) -> Dict[str, dict]:
+    """Compact per-key timing records of one benchmark run."""
+    records: Dict[str, dict] = {}
+    if "serial" in payload:  # main campaign payload
+        records[f"workload={payload['workload']}"] = {
+            "serial_wall_seconds":
+                payload["serial"]["wall_seconds"],
+            "parallel_wall_seconds":
+                payload["parallel"]["wall_seconds"],
+            "speedup": payload["speedup"],
+            "identical": payload["identical"],
+        }
+        for entry in payload.get("width_sweep", {}).get("entries", ()):
+            records[f"width={entry['width']}"] = {
+                "dense_wall_seconds": entry["dense"]["wall_seconds"],
+                "sparse_wall_seconds": entry["sparse"]["wall_seconds"],
+                "speedup": entry["speedup"],
+                "identical": entry["identical"],
+            }
+        for entry in payload.get("store", {}).get("entries", ()):
+            records[
+                f"store size={entry['memory_size']} "
+                f"width={entry['width']}"
+            ] = {
+                "cold_wall_seconds": entry["cold"]["wall_seconds"],
+                "warm_wall_seconds": entry["warm"]["wall_seconds"],
+                "speedup": entry["speedup"],
+                "identical": entry["identical"],
+            }
+    else:  # sparse-sweep payload
+        for entry in payload.get("entries", ()):
+            records[f"size={entry['memory_size']}"] = {
+                "dense_wall_seconds": entry["dense"]["wall_seconds"],
+                "sparse_wall_seconds": entry["sparse"]["wall_seconds"],
+                "speedup": entry["speedup"],
+                "identical": entry["identical"],
+            }
+    return records
+
+
+def write_with_history(
+    path: str, payload: Dict[str, object], cap: int
+) -> None:
+    """Write *payload* to *path*, rotating a bounded history.
+
+    The previous file's ``history`` map (if any) is carried forward,
+    this run's compact records are appended per key, and every key's
+    list is capped to its last *cap* entries -- the file records a
+    trend without growing unboundedly.  The top-level keys the
+    regression gate reads always describe the *current* run only.
+    """
+    history: Dict[str, List[dict]] = {}
+    try:
+        with open(path) as handle:
+            previous = json.load(handle)
+        if isinstance(previous, dict):
+            candidate = previous.get("history", {})
+            if isinstance(candidate, dict):
+                history = {
+                    key: list(entries)
+                    for key, entries in candidate.items()
+                    if isinstance(entries, list)
+                }
+    except (OSError, ValueError):
+        pass
+    for key, record in _history_records(payload).items():
+        history.setdefault(key, []).append(record)
+        history[key] = history[key][-cap:]
+    payload = dict(payload)
+    payload["history"] = history
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
 def gate(payload: Dict[str, object]) -> List[str]:
     """Regression-gate verdict: a list of failure messages (empty=pass)."""
     failures = []
@@ -272,6 +440,34 @@ def gate(payload: Dict[str, object]) -> List[str]:
                 f"dense and lane-sparse word kernels DIVERGE at "
                 f"width {entry['width']} -- the word sparse kernel "
                 f"is not exact")
+    store_leg = payload.get("store")
+    if store_leg:
+        for entry in store_leg["entries"]:
+            cell = (f"size {entry['memory_size']} "
+                    f"width {entry['width']}")
+            if not entry["identical"]:
+                failures.append(
+                    f"warm (store-hit) campaign report DIVERGES from "
+                    f"the cold run at {cell} -- the store is not "
+                    f"serving byte-identical results")
+            if entry["cold_store"]["hits"]:
+                failures.append(
+                    f"cold store run served "
+                    f"{entry['cold_store']['hits']} hit(s) at "
+                    f"{cell} -- the store was not fresh, the "
+                    f"speedup baseline is meaningless")
+            if entry["warm_store"]["misses"]:
+                failures.append(
+                    f"warm store run still missed "
+                    f"{entry['warm_store']['misses']} job(s) at "
+                    f"{cell} -- content addressing is unstable "
+                    f"across runs")
+            if entry["speedup"] < store_leg["min_store_speedup"]:
+                failures.append(
+                    f"warm store run fails the speedup gate at "
+                    f"{cell}: {entry['speedup']:.1f}x < "
+                    f"{store_leg['min_store_speedup']:.1f}x (a hit "
+                    f"is a key lookup, the win must be algorithmic)")
     return failures
 
 
@@ -331,15 +527,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "word widths (e.g. --widths 1 4 8), "
                              "appended to the main report as "
                              "'width_sweep'")
+    parser.add_argument("--store", action="store_true",
+                        help="also run the qualification-store leg: "
+                             "cold (fresh store) vs warm (all hits) "
+                             "over --sizes x --widths, appended to "
+                             "the main report as 'store'")
+    parser.add_argument("--store-path", metavar="PATH",
+                        help="back the store leg with this SQLite "
+                             "file (default: in-memory); CI uploads "
+                             "it as an artifact")
+    parser.add_argument("--min-store-speedup", type=float, default=10.0,
+                        help="required warm-vs-cold speedup for the "
+                             "store leg (applies on any machine: a "
+                             "hit never simulates)")
+    parser.add_argument("--history-cap", type=int, default=20,
+                        help="keep at most this many history records "
+                             "per benchmark key in the output files")
     args = parser.parse_args(argv)
 
     payload = run_benchmark(
         args.workload, args.workers, args.gate_cores, args.min_speedup)
     if args.widths:
         payload["width_sweep"] = run_width_sweep(args.widths)
-    with open(args.out, "w") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
+    if args.store:
+        payload["store"] = run_store_leg(
+            args.workload, args.min_store_speedup,
+            sizes=tuple(args.sizes or (3,)),
+            widths=tuple(args.widths or (1,)),
+            store_path=args.store_path)
+    write_with_history(args.out, payload, args.history_cap)
 
     print(f"workload={payload['workload']} jobs={payload['jobs']} "
           f"cores={payload['cpu_count']}")
@@ -368,15 +584,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   f"sparse={entry['sparse']['wall_seconds']:.2f}s "
                   f"speedup={entry['speedup']:.1f}x "
                   f"identical={entry['identical']}")
+    if args.store:
+        leg = payload["store"]
+        print(f"qualification store leg "
+              f"({leg['store_rows']} rows stored):")
+        for entry in leg["entries"]:
+            print(f"  n={entry['memory_size']:<5d} "
+                  f"w={entry['width']:<3d} "
+                  f"cold={entry['cold']['wall_seconds']:.2f}s "
+                  f"warm={entry['warm']['wall_seconds']:.3f}s "
+                  f"speedup={entry['speedup']:.1f}x "
+                  f"identical={entry['identical']}")
     print(f"report written to {args.out}")
 
     sparse_payload = None
     if args.sizes:
         sparse_payload = run_sparse_sweep(
             args.sizes, args.sparse_gate_size, args.min_sparse_speedup)
-        with open(args.sparse_out, "w") as handle:
-            json.dump(sparse_payload, handle, indent=2)
-            handle.write("\n")
+        write_with_history(
+            args.sparse_out, sparse_payload, args.history_cap)
         print(f"sparse kernel sweep "
               f"({sparse_payload['jobs_per_size']} jobs per size):")
         for entry in sparse_payload["entries"]:

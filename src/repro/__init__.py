@@ -53,6 +53,7 @@ from repro.sim import (
     CoverageReport,
     run_march,
 )
+from repro.store import QualificationStore, qualification_key
 
 __version__ = "1.1.0"
 
@@ -84,5 +85,7 @@ __all__ = [
     "CoverageCampaign",
     "CampaignResult",
     "run_march",
+    "QualificationStore",
+    "qualification_key",
     "__version__",
 ]

@@ -8,6 +8,10 @@ Installed as ``repro-march``::
     repro-march simulate "c(w0) U(r0,w1) D(r1,w0)" --fault-list 2
     repro-march generate --fault-list 1
     repro-march campaign --fault-lists 1 2 --workers 4 --sizes 3 4
+    repro-march campaign --store q.sqlite --shard 1/3   # one shard
+    repro-march campaign --store q.sqlite --resume      # missing cells
+    repro-march store stats q.sqlite  # qualification store inventory
+    repro-march store merge out.sqlite shard1.sqlite shard2.sqlite
     repro-march table1                # reproduce the paper's Table 1
     repro-march figure --which g0     # DOT source of Figure 2 / 4
 """
@@ -46,6 +50,7 @@ from repro.march.test import parse_march
 from repro.march.wordize import wordize
 from repro.sim.campaign import CoverageCampaign
 from repro.sim.coverage import CoverageOracle
+from repro.store import QualificationStore
 
 
 def _fault_list(label: str):
@@ -161,7 +166,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return _report_outcome(oracle.evaluate(test), args)
 
 
+def _parse_shard(text: Optional[str]):
+    """Parse the ``--shard i/N`` spec into an ``(index, count)`` pair."""
+    if text is None:
+        return None
+    try:
+        index_text, count_text = text.split("/", 1)
+        return int(index_text), int(count_text)
+    except ValueError:
+        raise SystemExit(
+            f"invalid shard spec {text!r}; expected i/N, e.g. 2/3")
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    import os
+
     tests = []
     try:
         for name in args.tests or ():
@@ -180,6 +199,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         tests = [km.test for km in ALL_KNOWN.values()]
     fault_lists = {
         label: _fault_list(label) for label in args.fault_lists}
+    if args.resume:
+        if not args.store:
+            raise SystemExit("--resume requires --store PATH")
+        if not os.path.exists(args.store):
+            raise SystemExit(
+                f"--resume: store {args.store!r} does not exist (an "
+                f"interrupted run would have left one behind)")
     try:
         campaign = CoverageCampaign(
             tests, fault_lists,
@@ -187,6 +213,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             lf3_layouts=tuple(args.lf3_layouts),
             workers=args.workers,
             backend=args.backend,
+            store=args.store,
+            shard=_parse_shard(args.shard),
             **_word_kwargs(args),
         )
     except ValueError as error:
@@ -202,6 +230,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         with open(args.json, "w") as handle:
             handle.write(result.to_json() + "\n")
         print(f"campaign report written to {args.json}")
+    if args.report_json:
+        with open(args.report_json, "w") as handle:
+            handle.write(result.report_json() + "\n")
+        print(f"deterministic report written to {args.report_json}")
+    if campaign.store is not None:
+        # Checkpoints the WAL into the main database file, so the
+        # store is a single self-contained artifact (CI uploads bare
+        # *.sqlite paths).
+        campaign.store.close()
     return 0 if result.complete else 1
 
 
@@ -224,6 +261,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             allowed_orders=allowed_orders,
             workers=args.workers,
             backend=args.backend,
+            store=args.store,
             **_word_kwargs(args),
         )
     except ValueError as error:
@@ -234,6 +272,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         print("unpruned:", result.unpruned.describe())
         for step in result.trace:
             print("  ", step)
+    if generator.store is not None:
+        generator.store.close()  # checkpoint WAL into the main file
     return 0 if result.complete else 1
 
 
@@ -258,6 +298,75 @@ def _cmd_report(args: argparse.Namespace) -> int:
         with open(args.output, "w") as handle:
             handle.write(text)
         print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _open_existing_store(path: str) -> QualificationStore:
+    import os
+
+    if not os.path.exists(path):
+        raise SystemExit(f"qualification store {path!r} does not exist")
+    return QualificationStore(path)
+
+
+def _cmd_store_stats(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    store = _open_existing_store(args.store)
+    stats = store.stats()
+    store.close()
+    if args.json:
+        print(json_module.dumps(stats, indent=2))
+        return 0
+    print(f"store {stats['path']}")
+    print(f"  rows: {stats['rows']} "
+          f"({stats['current_rows']} current, "
+          f"{stats['stale_rows']} stale)")
+    print(f"  payload bytes: {stats['payload_bytes']}")
+    print(f"  schema version: {stats['schema_version']}, "
+          f"semantics version: {stats['semantics_version']}")
+    return 0
+
+
+def _cmd_store_merge(args: argparse.Namespace) -> int:
+    # Open every source before creating/mutating the destination: a
+    # typo in the third path must not leave a half-merged destination
+    # behind (atomic-or-no-op).
+    sources = [_open_existing_store(path) for path in args.sources]
+    destination = QualificationStore(args.destination)
+    total = 0
+    for path, source in zip(args.sources, sources):
+        added = destination.merge(source)
+        print(f"merged {path}: +{added} row(s)")
+        total += added
+        source.close()
+    print(f"{args.destination}: {len(destination)} row(s) "
+          f"({total} added)")
+    destination.close()  # checkpoint WAL into the main file
+    return 0
+
+
+def _cmd_store_gc(args: argparse.Namespace) -> int:
+    store = _open_existing_store(args.store)
+    reclaimed = store.gc()
+    print(f"reclaimed {reclaimed} stale row(s); "
+          f"{len(store)} row(s) remain")
+    store.close()
+    return 0
+
+
+def _cmd_store_export(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    store = _open_existing_store(args.store)
+    text = json_module.dumps(store.export(), indent=2)
+    store.close()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"store exported to {args.output}")
     else:
         print(text)
     return 0
@@ -362,6 +471,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="processes for the final qualification step (default 1; "
              "N>1 fans the fault list out over a process pool with "
              "results identical to the serial run)")
+    generate.add_argument(
+        "--store", metavar="PATH",
+        help="content-addressed qualification store: committed march "
+             "prefixes, pruner candidate evaluations and the final "
+             "qualification are memoized across runs (a repeated "
+             "generation re-simulates almost nothing)")
     _add_backend_argument(generate)
     _add_word_arguments(generate)
     generate.add_argument("--verbose", action="store_true")
@@ -404,10 +519,74 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--json", metavar="PATH",
         help="also write the full campaign report as JSON")
+    campaign.add_argument(
+        "--report-json", metavar="PATH",
+        help="also write the deterministic (timing-free) report as "
+             "JSON -- byte-identical across worker counts, backends, "
+             "store hits and sharded-then-merged runs")
+    campaign.add_argument(
+        "--store", metavar="PATH",
+        help="content-addressed qualification store (SQLite, created "
+             "on demand): jobs already stored skip simulation but "
+             "still appear in the report byte-identically; misses "
+             "are recorded for future runs")
+    campaign.add_argument(
+        "--shard", metavar="I/N",
+        help="run only this deterministic shard of the job list "
+             "(e.g. 2/3); the N shards are disjoint and cover every "
+             "job, so per-shard stores merged via 'store merge' "
+             "resume into the full campaign")
+    campaign.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted or sharded campaign: requires "
+             "--store and re-runs only the cells missing from it "
+             "(the final report is byte-identical to an "
+             "uninterrupted run)")
     _add_backend_argument(campaign)
     _add_word_arguments(campaign)
     campaign.add_argument("--verbose", action="store_true")
     campaign.set_defaults(func=_cmd_campaign)
+
+    store = sub.add_parser(
+        "store",
+        help="inspect and maintain content-addressed qualification "
+             "stores",
+        description=(
+            "Maintenance commands for the SQLite qualification store "
+            "used by campaign/generate --store: inventory (stats), "
+            "shard fusion (merge), stale-version cleanup (gc) and a "
+            "JSON dump (export)."))
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    store_stats = store_sub.add_parser(
+        "stats", help="row counts, version stamps and payload size")
+    store_stats.add_argument("store", help="store database path")
+    store_stats.add_argument("--json", action="store_true",
+                             help="emit machine-readable JSON")
+    store_stats.set_defaults(func=_cmd_store_stats)
+
+    store_merge = store_sub.add_parser(
+        "merge",
+        help="union one or more stores into a destination store")
+    store_merge.add_argument(
+        "destination", help="destination store (created if missing)")
+    store_merge.add_argument(
+        "sources", nargs="+", help="source store(s) to merge in")
+    store_merge.set_defaults(func=_cmd_store_merge)
+
+    store_gc = store_sub.add_parser(
+        "gc", help="reclaim rows stamped with stale schema/semantics "
+                   "versions")
+    store_gc.add_argument("store", help="store database path")
+    store_gc.set_defaults(func=_cmd_store_gc)
+
+    store_export = store_sub.add_parser(
+        "export", help="dump the store as JSON (artifact-friendly)")
+    store_export.add_argument("store", help="store database path")
+    store_export.add_argument(
+        "--output", metavar="PATH",
+        help="write to a file instead of stdout")
+    store_export.set_defaults(func=_cmd_store_export)
 
     sub.add_parser("table1", help="reproduce the paper's Table 1") \
         .set_defaults(func=_cmd_table1)

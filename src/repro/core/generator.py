@@ -53,6 +53,13 @@ from repro.sim.coverage import (
 )
 from repro.sim.placements import DEFAULT_MEMORY_SIZE
 from repro.sim.sparse import BACKENDS
+from repro.store import (
+    QualificationStore,
+    encode_outcomes,
+    fault_list_id,
+    open_store,
+    qualification_key,
+)
 
 #: Canonical march-element shapes, as (kind, relative-value) pairs where
 #: relative value 0 is the element's entry state ``m`` and 1 is its
@@ -200,6 +207,17 @@ class MarchGenerator:
             acceptance is word-oracle-gated either way.
         backgrounds: word-mode background set (named set or explicit
             patterns; default: the standard ``ceil(log2 W) + 1`` set).
+        store: opt-in qualification store (a
+            :class:`repro.store.QualificationStore` or a database
+            path) for *cross-run* memoization.  Three seams benefit:
+            every committed march *prefix* is recorded as a complete
+            qualification (extracted from the live incremental oracle,
+            no extra simulation), the pruner's hundreds of candidate
+            evaluations are served from / recorded into the store, and
+            the final qualification is content-addressed.  A repeated
+            generation run against the same store re-simulates almost
+            nothing; the generated test is identical with or without a
+            store.
     """
 
     def __init__(
@@ -219,6 +237,7 @@ class MarchGenerator:
         backend: str = "auto",
         width: int = 1,
         backgrounds=None,
+        store=None,
     ):
         if not faults:
             raise ValueError("the target fault list is empty")
@@ -252,6 +271,10 @@ class MarchGenerator:
         self.backend = backend
         self.width, self.backgrounds = normalize_word_mode(
             width, backgrounds)
+        self.store: QualificationStore = open_store(store)
+        self._fault_list_key = (
+            fault_list_id(self.faults) if self.store is not None
+            else None)
         self._all_single_cell = all(
             fault_cells(f) == 1 for f in self.faults)
 
@@ -271,6 +294,7 @@ class MarchGenerator:
         elements: List[MarchElement] = [
             MarchElement(init_order, (write(0),))]
         oracle.append(elements[0])
+        self._record_prefix(elements, oracle)
         state: Bit = 0
         trace: List[TraceStep] = []
         iterations = 0
@@ -295,7 +319,7 @@ class MarchGenerator:
             batch = CoverageOracle(
                 self.faults, self.memory_size, self.exhaustive_limit,
                 self.lf3_layout, self.backend, self.width,
-                self.backgrounds)
+                self.backgrounds, store=self.store)
             prune_result = prune_march(
                 unpruned, batch,
                 generalize_orders=self.generalize_orders)
@@ -330,7 +354,8 @@ class MarchGenerator:
             exhaustive_limit=self.exhaustive_limit,
             backend=self.backend,
             width=self.width,
-            backgrounds=self.backgrounds)
+            backgrounds=self.backgrounds,
+            store=self.store)
         return campaign.run().entries[0].report
 
     # ------------------------------------------------------------------
@@ -464,6 +489,7 @@ class MarchGenerator:
         before_pending = len(oracle._pending)
         newly = len(oracle.append(element))
         elements.append(element)
+        self._record_prefix(elements, oracle)
         after_pending = len(oracle._pending)
         trace.append(TraceStep(
             element=element,
@@ -473,6 +499,41 @@ class MarchGenerator:
         ))
         final = element.final_write
         return final if final is not None else self._entry_state(elements)
+
+    def _record_prefix(
+        self,
+        elements: List[MarchElement],
+        oracle: IncrementalCoverage,
+    ) -> None:
+        """Memoize the committed prefix's qualification cross-run.
+
+        The incremental oracle already holds the full qualification of
+        the committed prefix (covered set, escape witnesses, and --
+        via :attr:`IncrementalCoverage.committed_contexts` -- the
+        exact context count a from-scratch run would report, probes
+        excluded), so recording it into the store costs no extra
+        simulation.  Any later :func:`repro.sim.coverage.qualify_test`
+        of an equivalent march against the same fault list and
+        geometry -- a re-run of this generator, a campaign over
+        generated tests, a pruner candidate that happens to equal a
+        prefix -- is then a pure store hit.
+        """
+        if self.store is None:
+            return
+        prefix = MarchTest(self.name, tuple(elements))
+        key = qualification_key(
+            prefix, self.faults, self.memory_size,
+            self.exhaustive_limit, self.lf3_layout, self.width,
+            self.backgrounds, fault_list_key=self._fault_list_key)
+        if key in self.store:
+            # put() is idempotent, but on a warm re-run (same
+            # trajectory, every prefix already stored) the membership
+            # probe skips the O(faults) payload encoding entirely.
+            return
+        self.store.put(key, encode_outcomes(
+            oracle.outcomes(), oracle.committed_contexts, self.faults,
+            self.memory_size, self.width, self.backgrounds,
+            self.lf3_layout))
 
     def _entry_state(self, elements: List[MarchElement]) -> Bit:
         for element in reversed(elements):

@@ -42,11 +42,18 @@ from repro.sim.coverage import (
     TargetFault,
     normalize_word_mode,
     qualify_outcomes,
-    qualify_test,
     report_from_outcomes,
 )
 from repro.sim.placements import DEFAULT_MEMORY_SIZE, LF3_LAYOUTS
 from repro.sim.sparse import BACKENDS
+from repro.store import (
+    QualificationStore,
+    decode_outcomes,
+    encode_outcomes,
+    fault_list_id,
+    open_store,
+    qualification_key,
+)
 
 
 @dataclass(frozen=True)
@@ -127,6 +134,13 @@ class CampaignResult:
     entries: List[CampaignEntry] = field(default_factory=list)
     workers: int = 1
     wall_seconds: float = 0.0
+    #: Jobs served from the qualification store without simulating /
+    #: jobs that had to simulate (both 0 when no store was attached).
+    store_hits: int = 0
+    store_misses: int = 0
+    #: The ``(index, count)`` shard this result covers (``None`` for a
+    #: full, unsharded run).
+    shard: Optional[Tuple[int, int]] = None
 
     def __iter__(self):
         return iter(self.entries)
@@ -161,11 +175,28 @@ class CampaignResult:
             "wall_seconds": self.wall_seconds,
             "contexts_simulated": self.contexts_simulated,
             "contexts_per_second": self.contexts_per_second,
+            "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
+            "shard": None if self.shard is None else list(self.shard),
             "entries": [entry.to_dict() for entry in self.entries],
         }
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
+
+    def report_dict(self) -> dict:
+        """The deterministic portion of the result: the entries only.
+
+        Independent of worker count, wall time, store hit ratio and
+        sharding bookkeeping -- this is the serialization the
+        byte-identity guarantees quantify over (cold == warm,
+        sharded-then-merged == unsharded serial).
+        """
+        return {"entries": [entry.to_dict() for entry in self.entries]}
+
+    def report_json(self, indent: int = 2) -> str:
+        """Canonical JSON of :meth:`report_dict` (byte-comparable)."""
+        return json.dumps(self.report_dict(), indent=indent)
 
     def render(self) -> str:
         """Plain-text result table (one row per job)."""
@@ -193,11 +224,18 @@ class CampaignResult:
     def summary(self) -> str:
         jobs = len(self.entries)
         complete = sum(1 for e in self.entries if e.report.complete)
-        return (
+        text = (
             f"{jobs} jobs ({complete} complete) in "
             f"{self.wall_seconds:.2f}s with {self.workers} worker(s); "
             f"{self.contexts_simulated} contexts "
             f"({self.contexts_per_second:,.0f}/s)")
+        if self.shard is not None:
+            text += f"; shard {self.shard[0]}/{self.shard[1]}"
+        if self.store_hits or self.store_misses:
+            text += (
+                f"; store: {self.store_hits} hit(s), "
+                f"{self.store_misses} miss(es)")
+        return text
 
 
 class CoverageCampaign:
@@ -231,6 +269,24 @@ class CoverageCampaign:
         backgrounds: word-mode background set (a named set --
             ``"standard"``, ``"marching"``, ``"solid"`` -- or explicit
             patterns; default: the standard ``ceil(log2 W) + 1`` set).
+        store: opt-in qualification store (a
+            :class:`repro.store.QualificationStore` or a database
+            path).  Jobs whose content address is already stored skip
+            simulation entirely -- their reports are reconstructed
+            from the stored outcomes and are byte-identical to a live
+            run; misses simulate (serially or across the pool) and are
+            recorded, which is also how an interrupted campaign
+            resumes: re-running the same campaign against the same
+            store only simulates the missing cells.
+        shard: deterministic job partition ``(index, count)`` with
+            1-based *index*: this run executes only the jobs whose
+            position in :meth:`jobs` order is congruent to
+            ``index - 1`` modulo *count*.  The *count* shards are a
+            disjoint cover of the full job list, so N workers each
+            running one shard against private stores, merged with
+            :meth:`repro.store.QualificationStore.merge`, yield a
+            store from which a full resumed campaign reports
+            byte-identically to an unsharded serial run.
     """
 
     def __init__(
@@ -247,6 +303,8 @@ class CoverageCampaign:
         backend: str = "auto",
         width: int = 1,
         backgrounds: Optional[BackgroundsSpec] = None,
+        store: Union[QualificationStore, str, None] = None,
+        shard: Optional[Tuple[int, int]] = None,
     ):
         if isinstance(tests, MarchTest):
             tests = [tests]
@@ -304,6 +362,26 @@ class CoverageCampaign:
                 f"unknown simulation backend {backend!r}; "
                 f"choose from {BACKENDS}")
         self.backend = backend
+        self.store = open_store(store)
+        if shard is not None:
+            try:
+                index, count = shard
+            except (TypeError, ValueError):
+                raise ValueError(
+                    "shard must be an (index, count) pair") from None
+            if count < 1 or not 1 <= index <= count:
+                raise ValueError(
+                    f"shard index must satisfy 1 <= index <= count, "
+                    f"got {index}/{count}")
+            shard = (int(index), int(count))
+        self.shard = shard
+        #: Fault-list content ids, hashed once per campaign (not per
+        #: job) when a store is attached.
+        self._fault_keys: Dict[str, str] = (
+            {} if self.store is None else {
+                label: fault_list_id(faults)
+                for label, faults in self.fault_lists.items()
+            })
 
     def jobs(self) -> List[CampaignJob]:
         """The campaign's work units, in deterministic result order."""
@@ -316,28 +394,93 @@ class CoverageCampaign:
             for lf3_layout in self.lf3_layouts
         ]
 
+    def shard_jobs(self) -> List[CampaignJob]:
+        """This run's work units: the shard's slice of :meth:`jobs`.
+
+        The full job list when no shard is configured.  Shard *i* of
+        *N* takes every job whose index is congruent to ``i - 1``
+        modulo *N* -- the *N* shards partition the job list (disjoint,
+        covering, order-preserving).
+        """
+        jobs = self.jobs()
+        if self.shard is None:
+            return jobs
+        index, count = self.shard
+        return [
+            job for position, job in enumerate(jobs)
+            if position % count == index - 1
+        ]
+
     def run(self) -> CampaignResult:
         """Execute every job; see the class docstring for guarantees."""
         start = perf_counter()
-        jobs = self.jobs()
-        if self.workers == 1:
-            entries = [
-                CampaignEntry(job, self._qualify_serial(job))
-                for job in jobs
-            ]
+        jobs = self.shard_jobs()
+        reports: Dict[int, CoverageReport] = {}
+        pending: List[Tuple[int, CampaignJob, Optional[str]]] = []
+        hits = misses = 0
+        if self.store is None:
+            pending = [(position, job, None)
+                       for position, job in enumerate(jobs)]
         else:
-            entries = self._run_parallel(jobs)
+            for position, job in enumerate(jobs):
+                key = self._job_key(job)
+                payload = self.store.get(key)
+                if payload is not None:
+                    reports[position] = self._served(job, payload)
+                    hits += 1
+                else:
+                    pending.append((position, job, key))
+                    misses += 1
+        miss_jobs = [job for _, job, _ in pending]
+        if self.workers == 1 or not miss_jobs:
+            computed = [self._qualify_serial(job) for job in miss_jobs]
+        else:
+            computed = self._run_parallel(miss_jobs)
+        for (position, job, key), (outcomes, contexts) \
+                in zip(pending, computed):
+            faults = self.fault_lists[job.fault_list]
+            if self.store is not None:
+                self.store.put(key, encode_outcomes(
+                    outcomes, contexts, faults, job.memory_size,
+                    job.width, job.backgrounds, job.lf3_layout))
+            reports[position] = report_from_outcomes(
+                job.test.name, faults, outcomes, contexts)
         return CampaignResult(
-            entries=entries,
+            entries=[
+                CampaignEntry(job, reports[position])
+                for position, job in enumerate(jobs)
+            ],
             workers=self.workers,
             wall_seconds=perf_counter() - start,
+            store_hits=hits,
+            store_misses=misses,
+            shard=self.shard,
         )
 
     # ------------------------------------------------------------------
     # Execution paths
     # ------------------------------------------------------------------
-    def _qualify_serial(self, job: CampaignJob) -> CoverageReport:
-        return qualify_test(
+    def _job_key(self, job: CampaignJob) -> str:
+        """Content address of *job* (see :mod:`repro.store.keys`)."""
+        return qualification_key(
+            job.test, self.fault_lists[job.fault_list],
+            job.memory_size, self.exhaustive_limit, job.lf3_layout,
+            job.width, job.backgrounds,
+            fault_list_key=self._fault_keys[job.fault_list])
+
+    def _served(self, job: CampaignJob, payload: dict) -> CoverageReport:
+        """Reconstruct a byte-identical report from a store hit."""
+        faults = self.fault_lists[job.fault_list]
+        outcomes, contexts = decode_outcomes(
+            payload, faults, job.memory_size, job.width,
+            job.backgrounds, job.lf3_layout)
+        return report_from_outcomes(
+            job.test.name, faults, outcomes, contexts)
+
+    def _qualify_serial(
+        self, job: CampaignJob
+    ) -> Tuple[List[QualifyOutcome], int]:
+        return qualify_outcomes(
             job.test,
             self.fault_lists[job.fault_list],
             job.memory_size,
@@ -350,7 +493,7 @@ class CoverageCampaign:
 
     def _run_parallel(
         self, jobs: List[CampaignJob]
-    ) -> List[CampaignEntry]:
+    ) -> List[Tuple[List[QualifyOutcome], int]]:
         """Fan fault chunks out over a process pool, merge in order."""
         job_chunks: List[List[List[TargetFault]]] = []
         for job in jobs:
@@ -374,25 +517,13 @@ class CoverageCampaign:
                 ]
                 for job, chunks in zip(jobs, job_chunks)
             ]
-            entries = []
-            for job, job_futures in zip(jobs, futures):
+            results = []
+            for job_futures in futures:
                 outcomes: List[QualifyOutcome] = []
                 contexts = 0
                 for future in job_futures:
                     chunk_outcomes, chunk_contexts = future.result()
                     outcomes.extend(chunk_outcomes)
                     contexts += chunk_contexts
-                entries.append(CampaignEntry(
-                    job, self._merge(job, outcomes, contexts)))
-        return entries
-
-    def _merge(
-        self,
-        job: CampaignJob,
-        outcomes: List[QualifyOutcome],
-        contexts: int,
-    ) -> CoverageReport:
-        """Reassemble a serial-identical report from chunk outcomes."""
-        return report_from_outcomes(
-            job.test.name, self.fault_lists[job.fault_list],
-            outcomes, contexts)
+                results.append((outcomes, contexts))
+        return results

@@ -44,6 +44,14 @@ from repro.sim.batch import cached_instances, register_cache
 from repro.sim.engine import detects_instance, run_element
 from repro.sim.placements import DEFAULT_MEMORY_SIZE
 from repro.sim.sparse import blank_snapshot, make_memory, resolve_backend
+from repro.store import (
+    QualificationStore,
+    decode_outcomes,
+    encode_outcomes,
+    fault_list_id,
+    open_store,
+    qualification_key,
+)
 
 # The word-mode modules live below the simulation layer and cannot
 # import :mod:`repro.sim.batch` at module level (see their import
@@ -229,6 +237,11 @@ class CoverageOracle:
         backgrounds: background set for word mode (named set or
             explicit patterns; default: the standard
             ``ceil(log2 W) + 1`` set).
+        store: opt-in qualification store (a
+            :class:`repro.store.QualificationStore` or a database
+            path): :meth:`evaluate` serves content-addressed cache
+            hits without simulating and records misses for the next
+            run.  Reports are byte-identical either way.
     """
 
     def __init__(
@@ -240,6 +253,7 @@ class CoverageOracle:
         backend: str = "auto",
         width: int = 1,
         backgrounds: Optional[BackgroundsSpec] = None,
+        store: Union[QualificationStore, str, None] = None,
     ):
         self.faults = list(faults)
         self.memory_size = memory_size
@@ -248,6 +262,13 @@ class CoverageOracle:
         self.backend = resolve_backend(backend, self.faults, memory_size)
         self.width, self.backgrounds = normalize_word_mode(
             width, backgrounds)
+        self.store = open_store(store)
+        #: Content id of the fault list, hashed once per oracle so
+        #: repeated :meth:`evaluate` calls (the pruner issues hundreds)
+        #: only hash the candidate notation.
+        self._fault_list_key = (
+            fault_list_id(self.faults) if self.store is not None
+            else None)
         if self.backgrounds is None:
             self._instances: Dict[str, List[FaultInstance]] = {
                 fault_name(f): make_instances(f, memory_size, lf3_layout)
@@ -291,7 +312,8 @@ class CoverageOracle:
         """
         return qualify_test(
             test, self.faults, self.memory_size, self.exhaustive_limit,
-            self.lf3_layout, self.backend, self.width, self.backgrounds)
+            self.lf3_layout, self.backend, self.width, self.backgrounds,
+            store=self.store, fault_list_key=self._fault_list_key)
 
 
 #: Per-fault qualification outcome: ``(detected, witness_instance,
@@ -334,15 +356,7 @@ def qualify_outcomes(
         width, backgrounds)
     for element in test.elements:
         incremental.append(element)
-    covered = incremental.covered_indexes()
-    outcomes: List[QualifyOutcome] = []
-    for index in range(len(faults)):
-        if index in covered:
-            outcomes.append((True, None, None, None))
-        else:
-            outcomes.append(
-                (False,) + incremental.witness_record(index))
-    return outcomes, incremental.contexts_simulated
+    return incremental.outcomes(), incremental.contexts_simulated
 
 
 def report_from_outcomes(
@@ -378,6 +392,8 @@ def qualify_test(
     backend: str = "auto",
     width: int = 1,
     backgrounds: Optional[BackgroundsSpec] = None,
+    store: Union[QualificationStore, str, None] = None,
+    fault_list_key: Optional[str] = None,
 ) -> CoverageReport:
     """Qualify one march test against one fault list, serially.
 
@@ -386,10 +402,39 @@ def qualify_test(
     bits, one pass per background, coverage aggregated across
     backgrounds (a placement is caught when some background detects it
     under every ``⇕`` resolution of its pass).
+
+    With *store* (a :class:`repro.store.QualificationStore` or a
+    database path), the qualification is content-addressed: a hit
+    skips simulation entirely and reconstructs the exact report a live
+    run would produce (witnesses re-bound from the canonical placement
+    enumeration); a miss simulates and records the outcome for future
+    runs.  The key covers notation, fault-list content, geometry and
+    semantics version -- never the backend, test name or fault-list
+    label (see :mod:`repro.store.keys`).  *fault_list_key* lets batch
+    callers pass a precomputed :func:`repro.store.fault_list_id`.
     """
+    store = open_store(store)
+    norm_width, norm_backgrounds = normalize_word_mode(
+        width, backgrounds)
+    key = None
+    if store is not None:
+        key = qualification_key(
+            test, faults, memory_size, exhaustive_limit, lf3_layout,
+            norm_width, norm_backgrounds, fault_list_key=fault_list_key)
+        payload = store.get(key)
+        if payload is not None:
+            outcomes, contexts = decode_outcomes(
+                payload, faults, memory_size, norm_width,
+                norm_backgrounds, lf3_layout)
+            return report_from_outcomes(
+                test.name, faults, outcomes, contexts)
     outcomes, contexts = qualify_outcomes(
         test, faults, memory_size, exhaustive_limit, lf3_layout, backend,
         width, backgrounds)
+    if store is not None:
+        store.put(key, encode_outcomes(
+            outcomes, contexts, faults, memory_size, norm_width,
+            norm_backgrounds, lf3_layout))
     return report_from_outcomes(test.name, faults, outcomes, contexts)
 
 
@@ -465,6 +510,13 @@ class IncrementalCoverage:
         #: long as the pool entry exists.
         self._memories: Dict[int, FaultyMemory] = {}
         self.contexts_simulated = 0
+        #: Simulations spent on *committed* elements only (probes
+        #: excluded).  Equals what a fresh qualification of the
+        #: committed prefix would report as ``contexts_simulated``, so
+        #: generator-recorded prefix outcomes stay byte-compatible
+        #: with :func:`qualify_outcomes` (see
+        #: :meth:`MarchGenerator._record_prefix`).
+        self.committed_contexts = 0
         if self.backgrounds is not None:
             self._init_word_contexts()
             return
@@ -577,12 +629,32 @@ class IncrementalCoverage:
             else self.backgrounds[ctx.background])
         return ctx.instance, ctx.resolution, background
 
+    def outcomes(self) -> List[QualifyOutcome]:
+        """Per-fault outcomes of the march committed so far.
+
+        The same shape :func:`qualify_outcomes` returns, extracted
+        from the live incremental state -- the generator uses this to
+        record every committed prefix into a qualification store
+        without re-simulating it.
+        """
+        covered = self._covered
+        results: List[QualifyOutcome] = []
+        for index in range(len(self.faults)):
+            if index in covered:
+                results.append((True, None, None, None))
+            else:
+                results.append((False,) + self.witness_record(index))
+        return results
+
     # ------------------------------------------------------------------
     # Advancing
     # ------------------------------------------------------------------
     def append(self, element: MarchElement) -> Set[int]:
         """Commit *element*; return indices of newly covered faults."""
+        before_contexts = self.contexts_simulated
         survivors = self._advance(self._pending, element)
+        self.committed_contexts += (
+            self.contexts_simulated - before_contexts)
         self._pending = self._retire_detected(self._dedup(survivors))
         self._pending_by_fault = {}
         for ctx in self._pending:

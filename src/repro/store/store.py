@@ -1,0 +1,231 @@
+"""The content-addressed qualification store (SQLite + JSON payloads).
+
+One row per qualification cell, keyed by
+:func:`repro.store.keys.qualification_key`.  Every row is stamped with
+the payload schema version and the detection-semantics version that
+produced it; :meth:`QualificationStore.get` only ever serves rows
+whose stamps match the running code, so stale semantics can never leak
+into a report -- they are simply misses (and
+:meth:`QualificationStore.gc` reclaims them).
+
+Stores produced on different machines merge losslessly: rows are
+content-addressed, so :meth:`QualificationStore.merge` is a set union
+(first writer wins on identical keys -- the payloads are identical by
+construction).  This is what lets sharded campaign workers each fill a
+private store and a coordinator fuse them into one store whose resumed
+campaign report is byte-identical to an unsharded serial run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from typing import Iterator, Optional, Tuple, Union
+
+from repro.store.keys import SCHEMA_VERSION, SEMANTICS_VERSION
+
+_TABLE_SQL = """
+CREATE TABLE IF NOT EXISTS qualifications (
+    key TEXT PRIMARY KEY,
+    schema_version INTEGER NOT NULL,
+    semantics_version TEXT NOT NULL,
+    payload TEXT NOT NULL,
+    created_at TEXT NOT NULL DEFAULT (strftime('%Y-%m-%dT%H:%M:%SZ','now'))
+)
+"""
+
+
+class QualificationStore:
+    """Persistent, mergeable cache of qualification outcomes.
+
+    Args:
+        path: SQLite database path; ``":memory:"`` (default) keeps the
+            store session-local, which is what the opt-in ``store=``
+            seams use in tests.
+
+    The store also keeps *session* hit/miss counters
+    (:attr:`session_hits` / :attr:`session_misses`) so campaigns and
+    benchmarks can report cache effectiveness without re-querying.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike] = ":memory:"):
+        self.path = str(path)
+        self._conn = sqlite3.connect(self.path)
+        # Every put() commits (an interrupted campaign must find its
+        # finished cells on resume), so make commits cheap: WAL avoids
+        # a journal rewrite per transaction and synchronous=NORMAL
+        # drops the per-commit fsync -- a power loss can at worst cost
+        # recent cache entries, never corrupt the database.  Both
+        # pragmas are no-ops for in-memory stores.
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute(_TABLE_SQL)
+        self._conn.commit()
+        self.session_hits = 0
+        self.session_misses = 0
+
+    # ------------------------------------------------------------------
+    # Core protocol
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[dict]:
+        """The stored payload for *key*, or ``None``.
+
+        Rows stamped with a different payload schema or detection
+        semantics are treated as misses, never decoded.
+        """
+        row = self._conn.execute(
+            "SELECT payload FROM qualifications WHERE key = ? "
+            "AND schema_version = ? AND semantics_version = ?",
+            (key, SCHEMA_VERSION, SEMANTICS_VERSION)).fetchone()
+        if row is None:
+            self.session_misses += 1
+            return None
+        self.session_hits += 1
+        return json.loads(row[0])
+
+    def put(self, key: str, payload: dict) -> None:
+        """Store *payload* under *key*, stamped with current versions.
+
+        Idempotent: re-putting an existing key is a no-op (the payload
+        is identical by content addressing), so concurrent shard
+        workers never fight over a row.
+        """
+        self._conn.execute(
+            "INSERT OR IGNORE INTO qualifications "
+            "(key, schema_version, semantics_version, payload) "
+            "VALUES (?, ?, ?, ?)",
+            (key, SCHEMA_VERSION, SEMANTICS_VERSION,
+             json.dumps(payload, separators=(",", ":"))))
+        self._conn.commit()
+
+    def __contains__(self, key: str) -> bool:
+        row = self._conn.execute(
+            "SELECT 1 FROM qualifications WHERE key = ? "
+            "AND schema_version = ? AND semantics_version = ?",
+            (key, SCHEMA_VERSION, SEMANTICS_VERSION)).fetchone()
+        return row is not None
+
+    def __len__(self) -> int:
+        return self._conn.execute(
+            "SELECT COUNT(*) FROM qualifications").fetchone()[0]
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def merge(self, other: Union["QualificationStore", str]) -> int:
+        """Union another store's current-version rows into this one.
+
+        Returns the number of rows actually added (keys already
+        present are skipped -- identical by construction).  *other*
+        may be a store object or a database path.
+        """
+        source = other if isinstance(other, QualificationStore) \
+            else QualificationStore(other)
+        try:
+            added = 0
+            rows = source._conn.execute(
+                "SELECT key, schema_version, semantics_version, "
+                "payload, created_at FROM qualifications "
+                "WHERE schema_version = ? AND semantics_version = ?",
+                (SCHEMA_VERSION, SEMANTICS_VERSION))
+            for row in rows:
+                cursor = self._conn.execute(
+                    "INSERT OR IGNORE INTO qualifications "
+                    "(key, schema_version, semantics_version, payload, "
+                    "created_at) VALUES (?, ?, ?, ?, ?)", row)
+                added += cursor.rowcount
+            self._conn.commit()
+            return added
+        finally:
+            if source is not other:
+                source.close()
+
+    def gc(self) -> int:
+        """Delete rows stamped with stale schema or semantics versions.
+
+        Returns the number of rows reclaimed.  Current-version rows
+        are never touched: content addressing means they cannot go
+        stale except through a version bump.
+        """
+        cursor = self._conn.execute(
+            "DELETE FROM qualifications "
+            "WHERE schema_version != ? OR semantics_version != ?",
+            (SCHEMA_VERSION, SEMANTICS_VERSION))
+        self._conn.commit()
+        self._conn.execute("VACUUM")
+        return cursor.rowcount
+
+    def stats(self) -> dict:
+        """Row counts, version stamps and session counters."""
+        total = len(self)
+        current = self._conn.execute(
+            "SELECT COUNT(*) FROM qualifications "
+            "WHERE schema_version = ? AND semantics_version = ?",
+            (SCHEMA_VERSION, SEMANTICS_VERSION)).fetchone()[0]
+        payload_bytes = self._conn.execute(
+            "SELECT COALESCE(SUM(LENGTH(payload)), 0) "
+            "FROM qualifications").fetchone()[0]
+        return {
+            "path": self.path,
+            "rows": total,
+            "current_rows": current,
+            "stale_rows": total - current,
+            "payload_bytes": payload_bytes,
+            "schema_version": SCHEMA_VERSION,
+            "semantics_version": SEMANTICS_VERSION,
+            "session_hits": self.session_hits,
+            "session_misses": self.session_misses,
+        }
+
+    def rows(self) -> Iterator[Tuple[str, int, str, dict, str]]:
+        """Every row as ``(key, schema, semantics, payload, created)``."""
+        for key, schema, semantics, payload, created in \
+                self._conn.execute(
+                    "SELECT key, schema_version, semantics_version, "
+                    "payload, created_at FROM qualifications "
+                    "ORDER BY key"):
+            yield key, schema, semantics, json.loads(payload), created
+
+    def export(self) -> dict:
+        """A JSON-ready dump of the whole store (artifact-friendly)."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "semantics_version": SEMANTICS_VERSION,
+            "rows": [
+                {
+                    "key": key,
+                    "schema_version": schema,
+                    "semantics_version": semantics,
+                    "payload": payload,
+                    "created_at": created,
+                }
+                for key, schema, semantics, payload, created
+                in self.rows()
+            ],
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "QualificationStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def open_store(
+    store: Union[QualificationStore, str, os.PathLike, None],
+) -> Optional[QualificationStore]:
+    """Normalize the ``store=`` seam every oracle accepts.
+
+    ``None`` passes through (caching off); a path opens (or creates)
+    a file-backed store; an existing store object is used as-is.
+    """
+    if store is None or isinstance(store, QualificationStore):
+        return store
+    return QualificationStore(store)
