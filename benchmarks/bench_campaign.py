@@ -345,6 +345,99 @@ def run_store_leg(
         store.close()
 
 
+def _dictionary_workload() -> List[Dict[str, object]]:
+    """(test, fault list) cells for the fault-dictionary leg.
+
+    Two anchor tests against Fault List #2 and a stratified Fault
+    List #1 slice at memory size 64: big enough that the sparse
+    kernel's algorithmic win and the store's decode-only warm path
+    are both visible, small enough for the CI gate.  The FL#1 slice
+    starts past the single-cell prefix (FL#1[:24] *is* FL#2, and
+    signature rows are keyed per fault), so the leg's cold builds
+    share no rows across cells and stay genuinely cold.
+    """
+    fl2 = list(fault_list_2())
+    multicell = list(fault_list_1())[len(fl2):]
+    step = max(1, len(multicell) // 120)
+    return [
+        {"test": ALL_KNOWN[name].test, "label": label,
+         "faults": faults, "size": 64}
+        for name in ("March C-", "March SL")
+        for label, faults in (
+            ("FL#2", fl2),
+            ("FL#1[24:][s120]", multicell[::step][:120]),
+        )
+    ]
+
+
+def run_dictionary_leg(
+    min_dictionary_speedup: float,
+    store_path: Optional[str] = None,
+) -> Dict[str, object]:
+    """Fault-dictionary benchmark: backend identity + warm store.
+
+    For each workload cell the dictionary is built four times: dense
+    and sparse (their deterministic JSON must be byte-identical),
+    then cold and warm against a qualification store (the warm
+    rebuild must perform **zero** simulations, produce byte-identical
+    JSON, and be at least *min_dictionary_speedup* x faster -- the
+    warm path is a key lookup plus JSON decode, so the win is
+    algorithmic, not hardware).
+    """
+    from time import perf_counter
+
+    from repro.diagnosis import build_dictionary
+
+    if store_path and os.path.exists(store_path):
+        os.remove(store_path)
+    store = QualificationStore(store_path or ":memory:")
+    try:
+        entries = []
+        for cell in _dictionary_workload():
+            test, faults = cell["test"], cell["faults"]
+            size = cell["size"]
+            timings = {}
+            builds = {}
+            for leg, kwargs in (
+                ("dense", {"backend": "dense"}),
+                ("sparse", {"backend": "sparse"}),
+                ("cold", {"store": store}),
+                ("warm", {"store": store}),
+            ):
+                start = perf_counter()
+                builds[leg] = build_dictionary(
+                    test, faults, memory_size=size, **kwargs)
+                timings[leg] = perf_counter() - start
+            backend_identical = (
+                builds["dense"].to_json() == builds["sparse"].to_json())
+            store_identical = (
+                builds["cold"].to_json() == builds["warm"].to_json())
+            speedup = (
+                timings["cold"] / timings["warm"]
+                if timings["warm"] > 0 else float("inf"))
+            entries.append({
+                "test": test.name,
+                "fault_list": cell["label"],
+                "memory_size": size,
+                "placements": len(builds["cold"]),
+                "wall_seconds": {
+                    leg: timings[leg] for leg in timings},
+                "backend_identical": backend_identical,
+                "store_identical": store_identical,
+                "cold_store_hits": builds["cold"].store_hits,
+                "cold_simulated_runs": builds["cold"].simulated_runs,
+                "warm_simulated_runs": builds["warm"].simulated_runs,
+                "speedup": speedup,
+            })
+        return {
+            "store_rows": len(store),
+            "min_dictionary_speedup": min_dictionary_speedup,
+            "entries": entries,
+        }
+    finally:
+        store.close()
+
+
 def _history_records(payload: Dict[str, object]) -> Dict[str, dict]:
     """Compact per-key timing records of one benchmark run."""
     records: Dict[str, dict] = {}
@@ -373,6 +466,18 @@ def _history_records(payload: Dict[str, object]) -> Dict[str, dict]:
                 "warm_wall_seconds": entry["warm"]["wall_seconds"],
                 "speedup": entry["speedup"],
                 "identical": entry["identical"],
+            }
+        for entry in payload.get("dictionary", {}).get("entries", ()):
+            records[
+                f"dictionary {entry['test']} {entry['fault_list']}"
+            ] = {
+                "cold_wall_seconds":
+                    entry["wall_seconds"]["cold"],
+                "warm_wall_seconds":
+                    entry["wall_seconds"]["warm"],
+                "speedup": entry["speedup"],
+                "backend_identical": entry["backend_identical"],
+                "store_identical": entry["store_identical"],
             }
     else:  # sparse-sweep payload
         for entry in payload.get("entries", ()):
@@ -468,6 +573,37 @@ def gate(payload: Dict[str, object]) -> List[str]:
                     f"{cell}: {entry['speedup']:.1f}x < "
                     f"{store_leg['min_store_speedup']:.1f}x (a hit "
                     f"is a key lookup, the win must be algorithmic)")
+    dictionary_leg = payload.get("dictionary")
+    if dictionary_leg:
+        minimum = dictionary_leg["min_dictionary_speedup"]
+        for entry in dictionary_leg["entries"]:
+            cell = f"{entry['test']} vs {entry['fault_list']}"
+            if not entry["backend_identical"]:
+                failures.append(
+                    f"dense and sparse fault dictionaries DIVERGE "
+                    f"for {cell} -- detection signatures are not "
+                    f"backend-identical")
+            if not entry["store_identical"]:
+                failures.append(
+                    f"warm-store dictionary rebuild DIVERGES from "
+                    f"the cold build for {cell}")
+            if entry["cold_store_hits"]:
+                failures.append(
+                    f"cold dictionary build for {cell} served "
+                    f"{entry['cold_store_hits']} store hit(s) -- "
+                    f"the workload cells overlap, the speedup "
+                    f"baseline is not cold")
+            if entry["warm_simulated_runs"]:
+                failures.append(
+                    f"warm dictionary rebuild for {cell} still "
+                    f"simulated {entry['warm_simulated_runs']} "
+                    f"run(s) -- the store must serve every "
+                    f"signature row")
+            if entry["speedup"] < minimum:
+                failures.append(
+                    f"warm dictionary rebuild fails the speedup "
+                    f"gate for {cell}: {entry['speedup']:.1f}x < "
+                    f"{minimum:.1f}x")
     return failures
 
 
@@ -540,6 +676,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="required warm-vs-cold speedup for the "
                              "store leg (applies on any machine: a "
                              "hit never simulates)")
+    parser.add_argument("--dictionary", action="store_true",
+                        help="also run the fault-dictionary leg: "
+                             "dense==sparse signature identity plus "
+                             "cold-vs-warm store rebuild (warm must "
+                             "simulate nothing), appended to the "
+                             "main report as 'dictionary'")
+    parser.add_argument("--dictionary-store-path", metavar="PATH",
+                        help="back the dictionary leg with this "
+                             "SQLite file (default: in-memory)")
+    parser.add_argument("--min-dictionary-speedup", type=float,
+                        default=2.0,
+                        help="required warm-vs-cold speedup for the "
+                             "dictionary leg (applies on any "
+                             "machine)")
     parser.add_argument("--history-cap", type=int, default=20,
                         help="keep at most this many history records "
                              "per benchmark key in the output files")
@@ -555,6 +705,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             sizes=tuple(args.sizes or (3,)),
             widths=tuple(args.widths or (1,)),
             store_path=args.store_path)
+    if args.dictionary:
+        payload["dictionary"] = run_dictionary_leg(
+            args.min_dictionary_speedup,
+            store_path=args.dictionary_store_path)
     write_with_history(args.out, payload, args.history_cap)
 
     print(f"workload={payload['workload']} jobs={payload['jobs']} "
@@ -595,6 +749,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   f"warm={entry['warm']['wall_seconds']:.3f}s "
                   f"speedup={entry['speedup']:.1f}x "
                   f"identical={entry['identical']}")
+    if args.dictionary:
+        leg = payload["dictionary"]
+        print(f"fault dictionary leg "
+              f"({leg['store_rows']} signature rows stored):")
+        for entry in leg["entries"]:
+            walls = entry["wall_seconds"]
+            print(f"  {entry['test']:<10s} {entry['fault_list']:<11s} "
+                  f"dense={walls['dense']:.2f}s "
+                  f"sparse={walls['sparse']:.2f}s "
+                  f"cold={walls['cold']:.2f}s "
+                  f"warm={walls['warm']:.3f}s "
+                  f"speedup={entry['speedup']:.1f}x "
+                  f"identical={entry['backend_identical']}/"
+                  f"{entry['store_identical']} "
+                  f"warm_sims={entry['warm_simulated_runs']}")
     print(f"report written to {args.out}")
 
     sparse_payload = None

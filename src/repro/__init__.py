@@ -19,6 +19,8 @@ The package provides, from the bottom up:
   :mod:`repro.sim`) -- the validation oracle;
 * the Mealy memory model, pattern graph and the march-test generator,
   the paper's contribution (:mod:`repro.core`);
+* fault diagnosis: signature dictionaries, ambiguity analysis and
+  adaptive distinguishing marches (:mod:`repro.diagnosis`);
 * reporting utilities reproducing Table 1 (:mod:`repro.analysis`).
 
 Quickstart::
@@ -53,6 +55,13 @@ from repro.sim import (
     CoverageReport,
     run_march,
 )
+from repro.diagnosis import (
+    DistinguishingGenerator,
+    FaultDictionary,
+    ambiguity_report,
+    build_dictionary,
+    diagnose,
+)
 from repro.store import QualificationStore, qualification_key
 
 __version__ = "1.1.0"
@@ -85,6 +94,11 @@ __all__ = [
     "CoverageCampaign",
     "CampaignResult",
     "run_march",
+    "FaultDictionary",
+    "build_dictionary",
+    "ambiguity_report",
+    "diagnose",
+    "DistinguishingGenerator",
     "QualificationStore",
     "qualification_key",
     "__version__",

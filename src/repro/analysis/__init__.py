@@ -15,6 +15,10 @@ from repro.analysis.compare import (
     render_table1,
     coverage_matrix,
 )
+from repro.analysis.diagnosis import (
+    render_ambiguity_table,
+    render_dictionary_summary,
+)
 from repro.analysis.dot import (
     g0_dot,
     pattern_graph_dot,
@@ -22,6 +26,8 @@ from repro.analysis.dot import (
 )
 
 __all__ = [
+    "render_ambiguity_table",
+    "render_dictionary_summary",
     "TextTable",
     "Table1Row",
     "improvement",

@@ -1,0 +1,59 @@
+"""Plain-text rendering of diagnosis artifacts.
+
+The table siblings of :meth:`repro.diagnosis.ambiguity.AmbiguityReport
+.to_dict`: same content, human-ordered (largest ambiguity first) for
+terminals and reports, built on the shared :class:`TextTable`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.table import TextTable
+
+
+def render_ambiguity_table(report, limit: Optional[int] = None) -> str:
+    """One row per ambiguity class, largest classes first.
+
+    Args:
+        report: an :class:`repro.diagnosis.ambiguity.AmbiguityReport`.
+        limit: show only the *limit* largest classes (all by default).
+    """
+    from repro.diagnosis.dictionary import signature_str
+
+    table = TextTable([
+        "#", "Placements", "Faults", "Fault names", "Observed",
+        "Signature",
+    ])
+    ranked = sorted(
+        enumerate(report.classes),
+        key=lambda pair: (-pair[1].size, pair[0]))
+    if limit is not None:
+        ranked = ranked[:limit]
+    for rank, (_, cls) in enumerate(ranked, start=1):
+        names = ", ".join(cls.fault_names[:4])
+        if len(cls.fault_names) > 4:
+            names += ", ..."
+        signature = signature_str(cls.signature)
+        if len(signature) > 40:
+            signature = signature[:37] + "..."
+        table.add_row([
+            str(rank),
+            str(cls.size),
+            str(len(cls.fault_names)),
+            names,
+            "yes" if cls.detected else "no",
+            signature,
+        ])
+    return table.render()
+
+
+def render_dictionary_summary(dictionary, report) -> str:
+    """A compact two-line dictionary + ambiguity summary."""
+    lines = [dictionary.summary(), report.summary()]
+    if dictionary.store_hits or dictionary.store_misses:
+        lines.append(
+            f"store: {dictionary.store_hits} hit(s), "
+            f"{dictionary.store_misses} miss(es)")
+    lines.append(f"simulated runs: {dictionary.simulated_runs}")
+    return "\n".join(lines)

@@ -12,6 +12,8 @@ Installed as ``repro-march``::
     repro-march campaign --store q.sqlite --resume      # missing cells
     repro-march store stats q.sqlite  # qualification store inventory
     repro-march store merge out.sqlite shard1.sqlite shard2.sqlite
+    repro-march dictionary "March C-" --fault-list 2 --ambiguity
+    repro-march diagnose "March C-" --inject "LF1:TFU->SF0" --distinguish
     repro-march table1                # reproduce the paper's Table 1
     repro-march figure --which g0     # DOT source of Figure 2 / 4
 """
@@ -277,6 +279,181 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0 if result.complete else 1
 
 
+def _resolve_test(text: str):
+    """A march test from a known name or raw notation."""
+    try:
+        return known_march(text).test
+    except KeyError:
+        pass
+    try:
+        test = parse_march(text, name=text)
+        test.check_consistency()
+        return test
+    except ValueError as error:
+        raise SystemExit(
+            f"{text!r} is neither a known march test nor valid "
+            f"notation: {error}")
+
+
+def _open_optional_store(path):
+    """Open (or create) a ``--store`` database; one-line error."""
+    if path is None:
+        return None
+    try:
+        return QualificationStore(path)
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+
+def _build_cli_dictionary(args: argparse.Namespace):
+    """The fault dictionary a diagnosis subcommand operates on.
+
+    Returns ``(dictionary, store)``; the caller closes the store
+    (checkpointing the WAL into the main file) when one was opened.
+    """
+    from repro.diagnosis import build_dictionary
+
+    test = _resolve_test(args.test)
+    faults = _fault_list(args.fault_list)
+    store = _open_optional_store(args.store)
+    try:
+        dictionary = build_dictionary(
+            test, faults,
+            memory_size=args.size,
+            lf3_layout=args.lf3_layout,
+            backend=args.backend,
+            store=store,
+            workers=args.workers,
+            **_word_kwargs(args),
+        )
+    except ValueError as error:
+        raise SystemExit(f"invalid dictionary build: {error}")
+    return dictionary, store
+
+
+def _cmd_dictionary(args: argparse.Namespace) -> int:
+    from repro.analysis.diagnosis import (
+        render_ambiguity_table,
+        render_dictionary_summary,
+    )
+    from repro.diagnosis import ambiguity_report
+
+    dictionary, store = _build_cli_dictionary(args)
+    try:
+        report = ambiguity_report(dictionary)
+        print(render_dictionary_summary(dictionary, report))
+        if args.ambiguity:
+            print(render_ambiguity_table(report, limit=args.limit))
+        if args.json:
+            with open(args.json, "w") as handle:
+                handle.write(dictionary.to_json() + "\n")
+            print(f"dictionary written to {args.json}")
+        if args.ambiguity_json:
+            with open(args.ambiguity_json, "w") as handle:
+                handle.write(report.to_json() + "\n")
+            print(f"ambiguity report written to "
+                  f"{args.ambiguity_json}")
+    finally:
+        if store is not None:
+            store.close()  # checkpoint WAL into the main file
+    return 0
+
+
+def _observed_signature(args: argparse.Namespace, dictionary):
+    """The signature ``diagnose`` looks up: parsed or injected."""
+    from repro.diagnosis import parse_signature
+    from repro.sim.coverage import fault_name
+
+    if args.signature is not None:
+        try:
+            return parse_signature(args.signature)
+        except ValueError as error:
+            raise SystemExit(f"invalid --signature: {error}")
+    names = [fault_name(f) for f in dictionary.faults]
+    try:
+        fault_index = names.index(args.inject)
+    except ValueError:
+        raise SystemExit(
+            f"fault {args.inject!r} is not in fault list "
+            f"{args.fault_list!r}")
+    try:
+        return dictionary.signature_of(fault_index, args.placement)
+    except KeyError:
+        raise SystemExit(
+            f"fault {args.inject!r} has no placement "
+            f"{args.placement}")
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    from repro.diagnosis import (
+        DistinguishingGenerator,
+        diagnose,
+        signature_str,
+    )
+
+    dictionary, store = _build_cli_dictionary(args)
+    try:
+        signature = _observed_signature(args, dictionary)
+        cls = diagnose(dictionary, signature)
+        if cls is None:
+            print(f"signature [{signature_str(signature)}] matches "
+                  f"no modelled fault placement in this dictionary")
+            return 1
+        print(f"observed [{signature_str(signature)}]")
+        print(f"ambiguity class: {cls.size} placement(s) of "
+              f"{len(cls.fault_names)} fault(s)")
+        for entry in cls.entries:
+            print(f"  {entry.fault.name}  ({entry.instance.name})")
+        if cls.size > 1 and args.distinguish:
+            try:
+                generator = DistinguishingGenerator(
+                    dictionary,
+                    max_suffix=args.max_suffix,
+                    backend=args.backend,
+                    store=store,
+                    focus=cls,
+                )
+            except ValueError as error:
+                raise SystemExit(f"invalid distinguish run: {error}")
+            result = generator.distinguish()
+            suffix = " ".join(el.notation() for el in result.suffix)
+            # What the suffix did to the class the user asked about:
+            # its members regrouped by their extended signatures.
+            groups = len({
+                result.dictionary.signature_of(
+                    entry.fault_index, entry.instance_index)
+                for entry in cls.entries
+            })
+            if suffix and groups > 1:
+                print(f"suggested distinguishing march: "
+                      f"{result.test.notation()}")
+                print(f"  (suffix {suffix} appended to the base "
+                      f"march)")
+                print(f"  observed class of {cls.size} -> "
+                      f"{groups} distinguishable group(s); "
+                      f"resolution "
+                      f"{result.before.resolution:.3f} -> "
+                      f"{result.after.resolution:.3f}")
+            elif suffix:
+                print(f"suffix {suffix} refines other classes "
+                      f"(resolution {result.before.resolution:.3f} "
+                      f"-> {result.after.resolution:.3f}) but could "
+                      f"not split the observed class: its members "
+                      f"are equivalent under every candidate "
+                      f"extension")
+            else:
+                print("no distinguishing suffix found: the class "
+                      "members are equivalent under every candidate "
+                      "extension")
+            if args.verbose:
+                for step in result.trace:
+                    print("  ", step)
+    finally:
+        if store is not None:
+            store.close()  # checkpoint WAL into the main file
+    return 0
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     rows = build_table1(fault_list_1(), fault_list_2())
     print(render_table1(rows))
@@ -308,7 +485,10 @@ def _open_existing_store(path: str) -> QualificationStore:
 
     if not os.path.exists(path):
         raise SystemExit(f"qualification store {path!r} does not exist")
-    return QualificationStore(path)
+    try:
+        return QualificationStore(path)
+    except ValueError as error:
+        raise SystemExit(str(error))
 
 
 def _cmd_store_stats(args: argparse.Namespace) -> int:
@@ -335,7 +515,10 @@ def _cmd_store_merge(args: argparse.Namespace) -> int:
     # typo in the third path must not leave a half-merged destination
     # behind (atomic-or-no-op).
     sources = [_open_existing_store(path) for path in args.sources]
-    destination = QualificationStore(args.destination)
+    try:
+        destination = QualificationStore(args.destination)
+    except ValueError as error:
+        raise SystemExit(str(error))
     total = 0
     for path, source in zip(args.sources, sources):
         added = destination.merge(source)
@@ -546,6 +729,98 @@ def build_parser() -> argparse.ArgumentParser:
     _add_word_arguments(campaign)
     campaign.add_argument("--verbose", action="store_true")
     campaign.set_defaults(func=_cmd_campaign)
+
+    def add_diagnosis_arguments(parser: argparse.ArgumentParser) -> None:
+        """The flags `dictionary` and `diagnose` share."""
+        parser.add_argument(
+            "test",
+            help='base march test: a known name ("March C-") or raw '
+                 'notation ("c(w0) U(r0,w1) ...")')
+        parser.add_argument("--fault-list", default="2")
+        parser.add_argument(
+            "--size", type=int, default=3, metavar="N",
+            help="simulated memory size (words in word mode; "
+                 "default 3)")
+        parser.add_argument("--lf3-layout", default="straddle",
+                            choices=("straddle", "all"))
+        parser.add_argument(
+            "--store", metavar="PATH",
+            help="content-addressed qualification store: each fault's "
+                 "signature row is cached, so a warm rebuild performs "
+                 "zero simulations")
+        parser.add_argument(
+            "--workers", type=int, default=1, metavar="N",
+            help="processes for the signature build (default 1; the "
+                 "dictionary is identical for any worker count)")
+        _add_backend_argument(parser)
+        _add_word_arguments(parser)
+        parser.add_argument("--verbose", action="store_true")
+
+    dictionary = sub.add_parser(
+        "dictionary",
+        help="build the fault dictionary (detection signatures) of a "
+             "march test",
+        description=(
+            "Build the fault dictionary of one march test over one "
+            "fault list: for every fault placement, the ordered "
+            "tuple of first detection sites across the test's "
+            "canonical run grid.  Placements with identical "
+            "signatures form ambiguity classes -- what a diagnosis "
+            "can resolve an observed failure pattern to."))
+    add_diagnosis_arguments(dictionary)
+    dictionary.add_argument(
+        "--ambiguity", action="store_true",
+        help="also print the ambiguity-class table")
+    dictionary.add_argument(
+        "--limit", type=int, metavar="N",
+        help="show only the N largest ambiguity classes")
+    dictionary.add_argument(
+        "--json", metavar="PATH",
+        help="write the dictionary as deterministic JSON "
+             "(byte-identical across backends, workers and store "
+             "states)")
+    dictionary.add_argument(
+        "--ambiguity-json", metavar="PATH",
+        help="write the ambiguity report as JSON")
+    dictionary.set_defaults(func=_cmd_dictionary)
+
+    diagnose = sub.add_parser(
+        "diagnose",
+        help="resolve an observed failure signature to its ambiguity "
+             "class",
+        description=(
+            "Look an observed signature up in the fault dictionary "
+            "and report the ambiguity class it resolves to.  The "
+            "signature is given either explicitly (--signature "
+            "'e1o0c2;-;e1o0c2;-': per canonical run, the first "
+            "failing (element, operation, cell) or '-' for a clean "
+            "run) or by injecting a modelled fault (--inject NAME) "
+            "and reading its simulated signature back.  With "
+            "--distinguish, an ambiguous class additionally gets an "
+            "adaptive distinguishing march: the base march extended "
+            "by a suffix that splits the class for a second silicon "
+            "run."))
+    add_diagnosis_arguments(diagnose)
+    observed = diagnose.add_mutually_exclusive_group(required=True)
+    observed.add_argument(
+        "--signature", metavar="SIG",
+        help="observed signature, e.g. 'e1o0c2;-;e1o0c2;-' "
+             "(one token per canonical run)")
+    observed.add_argument(
+        "--inject", metavar="FAULT",
+        help="simulate this modelled fault's signature and diagnose "
+             "it (a round-trip self-test)")
+    diagnose.add_argument(
+        "--placement", type=int, default=0, metavar="I",
+        help="canonical placement index for --inject (default 0)")
+    diagnose.add_argument(
+        "--distinguish", action="store_true",
+        help="when the class is ambiguous, generate a distinguishing "
+             "march that splits it")
+    diagnose.add_argument(
+        "--max-suffix", type=int, default=8, metavar="N",
+        help="bound on distinguishing-suffix elements (default 8)")
+    diagnose.set_defaults(func=_cmd_diagnose)
 
     store = sub.add_parser(
         "store",

@@ -394,10 +394,29 @@ class MarchGenerator:
                     element = element.with_order(self.allowed_orders[0])
                 push(element)
         if self.use_shapes:
-            for shape in ELEMENT_SHAPES:
-                ops = shape_operations(shape, state)
-                for order in self._orders():
-                    push(MarchElement(order, ops))
+            for element in self._shape_candidates(state):
+                push(element)
+        return candidates
+
+    def _shape_candidates(self, state: Bit) -> List[MarchElement]:
+        """The canonical shape grammar instantiated at *state*.
+
+        Every :data:`ELEMENT_SHAPES` entry crossed with the allowed
+        address orders, deduplicated, in deterministic order.  Shared
+        with the distinguishing generator
+        (:class:`repro.diagnosis.distinguish.DistinguishingGenerator`),
+        whose suffix candidates come from the same grammar under a
+        different objective.
+        """
+        seen: Set[Tuple[AddressOrder, Tuple[Operation, ...]]] = set()
+        candidates: List[MarchElement] = []
+        for shape in ELEMENT_SHAPES:
+            ops = shape_operations(shape, state)
+            for order in self._orders():
+                key = (order, ops)
+                if key not in seen:
+                    seen.add(key)
+                    candidates.append(MarchElement(order, ops))
         return candidates
 
     def _pattern_graph(self, oracle: IncrementalCoverage) -> PatternGraph:
@@ -463,18 +482,15 @@ class MarchGenerator:
             follow_state = first.final_write
             if follow_state is None:
                 follow_state = state
-            for shape in ELEMENT_SHAPES:
-                ops = shape_operations(shape, follow_state)
-                for order in self._orders():
-                    follow = MarchElement(order, ops)
-                    pair = [first, follow]
-                    if not self._consistent(elements + [first], follow):
-                        continue
-                    newly, resolved = oracle.probe(pair)
-                    score = (newly, resolved,
-                             -(len(first) + len(follow)))
-                    if score > best_score:
-                        best, best_score = pair, score
+            for follow in self._shape_candidates(follow_state):
+                pair = [first, follow]
+                if not self._consistent(elements + [first], follow):
+                    continue
+                newly, resolved = oracle.probe(pair)
+                score = (newly, resolved,
+                         -(len(first) + len(follow)))
+                if score > best_score:
+                    best, best_score = pair, score
         if best is not None and best_score[:2] == (0, 0):
             return None
         return best

@@ -50,8 +50,14 @@ class PruneResult:
         return self.test.complexity
 
 
-class _CoverageGuard:
-    """Accept a candidate test iff it keeps the protected coverage."""
+class CoverageGuard:
+    """Accept a candidate test iff it keeps the protected coverage.
+
+    The guard protocol of the drop passes below: any object with an
+    ``accepts(candidate: MarchTest) -> bool`` method works
+    (:mod:`repro.diagnosis.distinguish` plugs in a partition-preserving
+    guard to prune distinguishing suffixes through the same passes).
+    """
 
     def __init__(self, oracle: CoverageOracle, reference: MarchTest):
         self.oracle = oracle
@@ -86,17 +92,17 @@ def prune_march(
     """
     start = time.perf_counter()
     test.check_consistency()
-    guard = _CoverageGuard(oracle, test)
+    guard = CoverageGuard(oracle, test)
     current = test
     removed_ops = 0
     removed_elements = 0
     merged = 0
     for _ in range(max_rounds):
         changed = False
-        current, dropped = _drop_elements(current, guard)
+        current, dropped = drop_elements(current, guard)
         removed_elements += dropped
         changed = changed or dropped > 0
-        current, dropped = _drop_operations(current, guard)
+        current, dropped = drop_operations(current, guard)
         removed_ops += dropped
         changed = changed or dropped > 0
         if merge:
@@ -119,11 +125,18 @@ def prune_march(
     )
 
 
-def _drop_elements(
-    test: MarchTest, guard: _CoverageGuard
+def drop_elements(
+    test: MarchTest, guard, start: int = 0
 ) -> tuple:
+    """Guarded whole-element removal pass.
+
+    *guard* is any object with ``accepts(candidate) -> bool``;
+    *start* protects a prefix: elements before it are never candidates
+    for removal (the distinguishing pruner protects the base march and
+    reduces only the appended suffix).  Returns ``(test, dropped)``.
+    """
     dropped = 0
-    index = 0
+    index = start
     while index < len(test.elements) and len(test.elements) > 1:
         candidate = test.drop_element(index)
         if guard.accepts(candidate):
@@ -134,19 +147,30 @@ def _drop_elements(
     return test, dropped
 
 
-def _drop_operations(
-    test: MarchTest, guard: _CoverageGuard
+def drop_operations(
+    test: MarchTest, guard, start: int = 0
 ) -> tuple:
+    """Guarded single-operation removal pass.
+
+    Same guard protocol and prefix protection as
+    :func:`drop_elements`; an element reduced to its last operation is
+    offered for whole-element removal.  Returns ``(test, dropped)``.
+    """
     dropped = 0
-    element_index = 0
+    element_index = start
     while element_index < len(test.elements):
         op_index = 0
-        while op_index < len(test.elements[element_index].operations):
+        while element_index < len(test.elements) \
+                and op_index < len(
+                    test.elements[element_index].operations):
             element = test.elements[element_index]
             if len(element.operations) == 1:
                 if len(test.elements) > 1:
                     candidate = test.drop_element(element_index)
                     if guard.accepts(candidate):
+                        # The next element shifts into this index;
+                        # the bound re-check above covers dropping
+                        # the final element.
                         test = candidate
                         dropped += 1
                         op_index = 0
@@ -164,7 +188,7 @@ def _drop_operations(
 
 
 def _merge_adjacent(
-    test: MarchTest, guard: _CoverageGuard
+    test: MarchTest, guard: CoverageGuard
 ) -> tuple:
     merged = 0
     index = 0
@@ -186,7 +210,7 @@ def _merge_adjacent(
 
 
 def _generalize_orders(
-    test: MarchTest, guard: _CoverageGuard
+    test: MarchTest, guard: CoverageGuard
 ) -> tuple:
     generalized = 0
     for index, element in enumerate(test.elements):

@@ -1,0 +1,510 @@
+"""Fault dictionaries: detection signatures per fault placement.
+
+A **signature** is the diagnostic fingerprint one fault placement
+leaves on one march test: over the test's canonical run grid
+(:func:`repro.sim.coverage.signature_runs` -- one run per ``⇕``
+resolution on the bit path, one per (background x resolution) pair in
+word mode), the ordered tuple of *first detection sites*, each encoded
+as ``(element, operation, cell)`` with ``cell`` the flat address
+(``word * width + lane`` in word mode) and ``None`` for a run the
+placement survives.  Two placements a tester cannot tell apart under
+the march produce the same tuple; everything the diagnosis layer does
+is set arithmetic over these tuples.
+
+Signatures are backend-identical by the same argument qualification
+reports are (the differential suites pin detection sites byte-for-byte
+across the dense and sparse kernels), so a dictionary built on either
+backend serializes to the same bytes.  They are also pure functions of
+(march notation, fault semantics, geometry), which is what lets each
+fault's signature row live in the content-addressed
+:class:`repro.store.QualificationStore` under
+:func:`repro.store.signature_key`: a warm rebuild decodes every row
+and performs **zero simulations**.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.faults.backgrounds import (
+    Background,
+    BackgroundsSpec,
+    background_str,
+    word_instances,
+)
+from repro.march.test import MarchTest
+from repro.memory.injection import FaultInstance
+from repro.memory.word import make_word_memory, run_word_march
+from repro.sim.batch import auto_chunk_size, cached_instances, chunked
+from repro.sim.coverage import (
+    TargetFault,
+    fault_name,
+    normalize_word_mode,
+    signature_runs,
+)
+from repro.sim.engine import run_march
+from repro.sim.placements import DEFAULT_MEMORY_SIZE
+from repro.sim.sparse import BACKENDS, make_memory
+from repro.store import (
+    QualificationStore,
+    open_store,
+    signature_key,
+)
+
+#: One run's contribution to a signature: the first detection site as
+#: ``(element index, operation index, flat cell address)``, or ``None``
+#: when the run escapes.
+Site = Optional[Tuple[int, int, int]]
+
+#: A detection signature: one :data:`Site` per canonical run.
+Signature = Tuple[Site, ...]
+
+
+def signature_str(signature: Signature) -> str:
+    """Compact textual form: runs joined by ``;``, escapes as ``-``.
+
+    ``e1o0c2;-`` reads "run 0 first failed at element 1, operation 0,
+    cell 2; run 1 passed".  The inverse of :func:`parse_signature`.
+    """
+    return ";".join(
+        "-" if site is None else f"e{site[0]}o{site[1]}c{site[2]}"
+        for site in signature)
+
+
+def parse_signature(text: str) -> Signature:
+    """Parse the :func:`signature_str` form back into a signature.
+
+    Raises:
+        ValueError: on an empty spec or a malformed run token.
+    """
+    text = text.strip()
+    if not text:
+        raise ValueError("empty signature spec")
+    sites: List[Site] = []
+    for token in text.split(";"):
+        token = token.strip()
+        if token == "-":
+            sites.append(None)
+            continue
+        try:
+            if not token.startswith("e"):
+                raise ValueError
+            element_text, rest = token[1:].split("o", 1)
+            op_text, cell_text = rest.split("c", 1)
+            sites.append(
+                (int(element_text), int(op_text), int(cell_text)))
+        except ValueError:
+            raise ValueError(
+                f"invalid signature run {token!r}; expected '-' or "
+                f"'e<element>o<op>c<cell>', e.g. 'e1o0c2'") from None
+    return tuple(sites)
+
+
+def fault_signatures(
+    test: MarchTest,
+    fault: TargetFault,
+    memory_size: int = DEFAULT_MEMORY_SIZE,
+    exhaustive_limit: int = 6,
+    lf3_layout: str = "straddle",
+    backend: str = "auto",
+    width: int = 1,
+    backgrounds: Optional[Tuple[Background, ...]] = None,
+) -> List[Signature]:
+    """One signature per canonical placement of *fault*, in order.
+
+    The worker body of the dictionary build: module-level so the
+    parallel fan-out can ship it to a process pool by qualified name
+    (mirroring :func:`repro.sim.coverage.qualify_outcomes` in the
+    campaign engine).  *backgrounds* must already be resolved
+    (``None`` = bit path).
+    """
+    runs = signature_runs(test, backgrounds, exhaustive_limit)
+    if backgrounds is None:
+        instances = cached_instances(fault, memory_size, lf3_layout)
+    else:
+        instances = word_instances(
+            fault, memory_size, width, lf3_layout)
+    signatures: List[Signature] = []
+    for instance in instances:
+        sites: List[Site] = []
+        for background, resolution in runs:
+            if background is None:
+                memory = make_memory(memory_size, instance, backend)
+                site = run_march(test, memory, resolution)
+                sites.append(
+                    None if site is None
+                    else (site.element, site.operation, site.address))
+            else:
+                memory = make_word_memory(
+                    memory_size, width, instance, backend)
+                site = run_word_march(
+                    test, memory, background, resolution)
+                sites.append(
+                    None if site is None
+                    else (site.element, site.operation,
+                          site.cell(width)))
+        signatures.append(tuple(sites))
+    return signatures
+
+
+def _signature_chunk(
+    test: MarchTest,
+    faults: Sequence[TargetFault],
+    memory_size: int,
+    exhaustive_limit: int,
+    lf3_layout: str,
+    backend: str,
+    width: int,
+    backgrounds: Optional[Tuple[Background, ...]],
+) -> List[List[Signature]]:
+    """Pool task: :func:`fault_signatures` over a fault chunk."""
+    return [
+        fault_signatures(
+            test, fault, memory_size, exhaustive_limit, lf3_layout,
+            backend, width, backgrounds)
+        for fault in faults
+    ]
+
+
+def encode_signatures(signatures: Sequence[Signature]) -> dict:
+    """JSON-ready store payload for one fault's signature row."""
+    return {
+        "signatures": [
+            [None if site is None else list(site) for site in signature]
+            for signature in signatures
+        ],
+    }
+
+
+def decode_signatures(
+    payload: dict, instance_count: int, run_count: int
+) -> List[Signature]:
+    """Inverse of :func:`encode_signatures`, shape-validated.
+
+    Raises:
+        ValueError: when the stored row does not cover the caller's
+            canonical placement enumeration or run grid -- a mismatch
+            means the content addressing is broken, never serve it.
+    """
+    encoded = payload["signatures"]
+    if len(encoded) != instance_count:
+        raise ValueError(
+            f"stored signature row covers {len(encoded)} placements, "
+            f"the canonical enumeration has {instance_count}")
+    signatures: List[Signature] = []
+    for runs in encoded:
+        if len(runs) != run_count:
+            raise ValueError(
+                f"stored signature has {len(runs)} runs, the test's "
+                f"canonical run grid has {run_count}")
+        signatures.append(tuple(
+            None if site is None else tuple(site) for site in runs))
+    return signatures
+
+
+@dataclass(frozen=True)
+class DictionaryEntry:
+    """One dictionary row: a fault placement and its signature.
+
+    ``fault_index``/``instance_index`` index into the dictionary's
+    fault list and the fault's canonical placement enumeration -- the
+    coordinates the ambiguity layer partitions over.
+    """
+
+    fault_index: int
+    instance_index: int
+    fault: TargetFault
+    instance: FaultInstance
+    signature: Signature
+
+    @property
+    def detected(self) -> bool:
+        """``True`` when at least one run observes the placement."""
+        return any(site is not None for site in self.signature)
+
+    def describe(self) -> str:
+        return (
+            f"{self.instance.name}: "
+            f"{signature_str(self.signature)}")
+
+
+class FaultDictionary:
+    """Signatures of every placement of every fault under one march.
+
+    Built by :func:`build_dictionary`; consumed by
+    :mod:`repro.diagnosis.ambiguity` (partitioning, diagnosis lookup)
+    and :mod:`repro.diagnosis.distinguish` (adaptive refinement).
+
+    Attributes:
+        test: the march test the signatures index.
+        faults: the coverage targets, in list order.
+        runs: the canonical run grid the signatures quantify over.
+        entries: every ``(fault, placement)`` row, fault-list order
+            outermost, placement order within.
+        simulated_runs: simulations the build actually executed -- 0
+            on a fully warm store rebuild.
+        store_hits / store_misses: per-fault store row counters.
+    """
+
+    def __init__(
+        self,
+        test: MarchTest,
+        faults: Sequence[TargetFault],
+        memory_size: int,
+        exhaustive_limit: int,
+        lf3_layout: str,
+        width: int,
+        backgrounds: Optional[Tuple[Background, ...]],
+        entries: Sequence[DictionaryEntry],
+        simulated_runs: int = 0,
+        store_hits: int = 0,
+        store_misses: int = 0,
+    ):
+        self.test = test
+        self.faults = list(faults)
+        self.memory_size = memory_size
+        self.exhaustive_limit = exhaustive_limit
+        self.lf3_layout = lf3_layout
+        self.width = width
+        self.backgrounds = backgrounds
+        self.runs = signature_runs(test, backgrounds, exhaustive_limit)
+        self.entries = list(entries)
+        self.simulated_runs = simulated_runs
+        self.store_hits = store_hits
+        self.store_misses = store_misses
+        self._by_signature: Dict[Signature, List[DictionaryEntry]] = {}
+        self._by_coordinates: Dict[
+            Tuple[int, int], DictionaryEntry] = {}
+        for entry in self.entries:
+            self._by_signature.setdefault(
+                entry.signature, []).append(entry)
+            self._by_coordinates[
+                (entry.fault_index, entry.instance_index)] = entry
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    @property
+    def signatures(self) -> List[Signature]:
+        """Distinct signatures, first-occurrence (entry) order."""
+        return list(self._by_signature)
+
+    def entry(
+        self, fault_index: int, instance_index: int
+    ) -> DictionaryEntry:
+        """The row of one ``(fault, placement)`` coordinate."""
+        return self._by_coordinates[(fault_index, instance_index)]
+
+    def signature_of(
+        self, fault_index: int, instance_index: int
+    ) -> Signature:
+        return self.entry(fault_index, instance_index).signature
+
+    def lookup(self, signature: Signature) -> List[DictionaryEntry]:
+        """Every placement producing *signature* (empty if unknown)."""
+        return list(self._by_signature.get(tuple(signature), ()))
+
+    def to_dict(self) -> dict:
+        """Deterministic JSON form -- the byte-identity currency.
+
+        Independent of backend, worker count and store hit ratio; the
+        benchmark gate compares dense-vs-sparse and cold-vs-warm
+        builds on exactly this serialization.
+        """
+        return {
+            "test": self.test.name,
+            "notation": self.test.notation(ascii_only=True),
+            "memory_size": self.memory_size,
+            "lf3_layout": self.lf3_layout,
+            "width": self.width,
+            "backgrounds": (
+                None if self.backgrounds is None
+                else [background_str(bg) for bg in self.backgrounds]),
+            "exhaustive_limit": self.exhaustive_limit,
+            "run_count": len(self.runs),
+            "faults": [fault_name(f) for f in self.faults],
+            "entries": [
+                {
+                    "fault": fault_name(entry.fault),
+                    "fault_index": entry.fault_index,
+                    "instance": entry.instance.name,
+                    "instance_index": entry.instance_index,
+                    "signature": signature_str(entry.signature),
+                }
+                for entry in self.entries
+            ],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def summary(self) -> str:
+        distinct = len(self._by_signature)
+        return (
+            f"{self.test.name}: {len(self.entries)} placements of "
+            f"{len(self.faults)} faults over {len(self.runs)} runs; "
+            f"{distinct} distinct signatures")
+
+
+def build_dictionary(
+    test: MarchTest,
+    faults: Sequence[TargetFault],
+    *,
+    memory_size: int = DEFAULT_MEMORY_SIZE,
+    exhaustive_limit: int = 6,
+    lf3_layout: str = "straddle",
+    backend: str = "auto",
+    width: int = 1,
+    backgrounds: Optional[BackgroundsSpec] = None,
+    store: Union[QualificationStore, str, None] = None,
+    workers: int = 1,
+) -> FaultDictionary:
+    """Build the fault dictionary of *test* over *faults*.
+
+    With *store* (a :class:`repro.store.QualificationStore` or a
+    database path) each fault's signature row is content-addressed
+    under :func:`repro.store.signature_key`: hits decode without
+    simulating, misses simulate and are recorded -- a repeated build
+    against a warm store performs **zero** simulations and returns a
+    byte-identical dictionary.  ``workers > 1`` fans the missing
+    faults out over a process pool (deterministic result either way,
+    mirroring the campaign engine's exactness guarantee).
+
+    Raises:
+        ValueError: on an unknown backend or invalid word mode.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown simulation backend {backend!r}; "
+            f"choose from {BACKENDS}")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    width, resolved = normalize_word_mode(width, backgrounds)
+    # A store opened here from a bare path is ours to close (the WAL
+    # checkpoints into the main file); a caller-provided store object
+    # stays open for the caller's next build.
+    owns_store = store is not None \
+        and not isinstance(store, QualificationStore)
+    store = open_store(store)
+    try:
+        return _build_dictionary(
+            test, faults, memory_size, exhaustive_limit, lf3_layout,
+            backend, width, resolved, store, workers)
+    finally:
+        if owns_store:
+            store.close()
+
+
+def _build_dictionary(
+    test: MarchTest,
+    faults: Sequence[TargetFault],
+    memory_size: int,
+    exhaustive_limit: int,
+    lf3_layout: str,
+    backend: str,
+    width: int,
+    resolved: Optional[Tuple[Background, ...]],
+    store: Optional[QualificationStore],
+    workers: int,
+) -> FaultDictionary:
+    runs = signature_runs(test, resolved, exhaustive_limit)
+    faults = list(faults)
+    per_fault: Dict[int, List[Signature]] = {}
+    pending: List[Tuple[int, Optional[str]]] = []
+    hits = misses = 0
+    for index, fault in enumerate(faults):
+        key = None
+        if store is not None:
+            key = signature_key(
+                test, fault, memory_size, exhaustive_limit,
+                lf3_layout, width, resolved)
+            payload = store.get(key)
+            if payload is not None:
+                instances = _instances(
+                    fault, memory_size, width, resolved, lf3_layout)
+                per_fault[index] = decode_signatures(
+                    payload, len(instances), len(runs))
+                hits += 1
+                continue
+            misses += 1
+        pending.append((index, key))
+    simulated = 0
+    if pending:
+        miss_faults = [faults[index] for index, _ in pending]
+        if workers == 1:
+            computed = [
+                fault_signatures(
+                    test, fault, memory_size, exhaustive_limit,
+                    lf3_layout, backend, width, resolved)
+                for fault in miss_faults
+            ]
+        else:
+            computed = _build_parallel(
+                test, miss_faults, memory_size, exhaustive_limit,
+                lf3_layout, backend, width, resolved, workers)
+        for (index, key), signatures in zip(pending, computed):
+            per_fault[index] = signatures
+            simulated += len(signatures) * len(runs)
+            if store is not None:
+                store.put(key, encode_signatures(signatures))
+    entries: List[DictionaryEntry] = []
+    for index, fault in enumerate(faults):
+        instances = _instances(
+            fault, memory_size, width, resolved, lf3_layout)
+        for instance_index, (instance, signature) in enumerate(
+                zip(instances, per_fault[index])):
+            entries.append(DictionaryEntry(
+                index, instance_index, fault, instance, signature))
+    return FaultDictionary(
+        test, faults, memory_size, exhaustive_limit, lf3_layout,
+        width, resolved, entries,
+        simulated_runs=simulated,
+        store_hits=hits,
+        store_misses=misses,
+    )
+
+
+def _instances(
+    fault: TargetFault,
+    memory_size: int,
+    width: int,
+    backgrounds: Optional[Tuple[Background, ...]],
+    lf3_layout: str,
+):
+    if backgrounds is None:
+        return cached_instances(fault, memory_size, lf3_layout)
+    return word_instances(fault, memory_size, width, lf3_layout)
+
+
+def _build_parallel(
+    test: MarchTest,
+    faults: Sequence[TargetFault],
+    memory_size: int,
+    exhaustive_limit: int,
+    lf3_layout: str,
+    backend: str,
+    width: int,
+    backgrounds: Optional[Tuple[Background, ...]],
+    workers: int,
+) -> List[List[Signature]]:
+    """Fan fault chunks out over a process pool, merge in order."""
+    size = auto_chunk_size(len(faults), workers)
+    chunks = list(chunked(faults, size))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(
+                _signature_chunk, test, chunk, memory_size,
+                exhaustive_limit, lf3_layout, backend, width,
+                backgrounds)
+            for chunk in chunks
+        ]
+        results: List[List[Signature]] = []
+        for future in futures:
+            results.extend(future.result())
+    return results

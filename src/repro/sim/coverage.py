@@ -88,6 +88,35 @@ def fault_name(fault: TargetFault) -> str:
     return fault.name
 
 
+def signature_runs(
+    test: MarchTest,
+    backgrounds: Optional[Tuple[Background, ...]] = None,
+    exhaustive_limit: int = 6,
+) -> List[Tuple[Optional[Background], Tuple[bool, ...]]]:
+    """The ordered ``(background, resolution)`` run grid of one test.
+
+    This is the run enumeration every qualification quantifies over --
+    the bit path runs once per ``⇕`` resolution, the word path once
+    per (background x resolution) pair, backgrounds outermost -- made
+    public so the diagnosis layer (:mod:`repro.diagnosis`) indexes
+    detection *signatures* by exactly the runs the oracles simulate.
+    ``background`` is ``None`` on the bit path.  The order is stable:
+    it defines the canonical run indexing of every signature.
+    """
+    from repro.sim.batch import cached_order_resolutions
+
+    any_count = sum(
+        1 for el in test.elements if el.order is AddressOrder.ANY)
+    resolutions = cached_order_resolutions(any_count, exhaustive_limit)
+    if backgrounds is None:
+        return [(None, resolution) for resolution in resolutions]
+    return [
+        (background, resolution)
+        for background in backgrounds
+        for resolution in resolutions
+    ]
+
+
 def fault_cells(fault: TargetFault) -> int:
     """Number of distinct cell roles of a coverage target."""
     return fault.cells

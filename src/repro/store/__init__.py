@@ -23,8 +23,10 @@ from repro.store.keys import (
     SEMANTICS_VERSION,
     canonical_notation,
     fault_descriptor,
+    fault_id,
     fault_list_id,
     qualification_key,
+    signature_key,
 )
 from repro.store.payload import decode_outcomes, encode_outcomes
 from repro.store.store import QualificationStore, open_store
@@ -34,8 +36,10 @@ __all__ = [
     "SEMANTICS_VERSION",
     "canonical_notation",
     "fault_descriptor",
+    "fault_id",
     "fault_list_id",
     "qualification_key",
+    "signature_key",
     "decode_outcomes",
     "encode_outcomes",
     "QualificationStore",

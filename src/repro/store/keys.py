@@ -117,6 +117,60 @@ def fault_list_id(faults: Sequence) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+def fault_id(fault) -> str:
+    """Content hash of a single coverage target's semantic descriptor.
+
+    The single-fault sibling of :func:`fault_list_id`, used by
+    signature-dictionary rows so two fault lists sharing a fault share
+    its per-fault dictionary entries.
+    """
+    blob = json.dumps(fault_descriptor(fault), separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def signature_key(
+    test: MarchTest,
+    fault,
+    memory_size: int,
+    exhaustive_limit: int,
+    lf3_layout: str,
+    width: int,
+    backgrounds: Optional[Tuple[Background, ...]],
+    fault_key: Optional[str] = None,
+) -> str:
+    """The content address of one fault's signature-dictionary row.
+
+    A detection *signature* (the ordered per-run first detection sites
+    of every placement of *fault* under *test*; see
+    :mod:`repro.diagnosis.dictionary`) is a pure function of the same
+    inputs a qualification is, except that it is keyed per *fault*
+    rather than per fault list: two dictionaries over different lists
+    sharing a fault share its row.  The ``kind`` field keeps signature
+    rows from ever colliding with qualification rows -- the key
+    material is a structurally different document, so the store's
+    single keyspace extends without migration.  The simulation backend
+    is excluded for the same reason as in :func:`qualification_key`:
+    detection sites are backend-identical.
+    """
+    material = json.dumps(
+        {
+            "kind": "signature-dictionary",
+            "semantics": SEMANTICS_VERSION,
+            "march": canonical_notation(test),
+            "fault": fault_key or fault_id(fault),
+            "size": memory_size,
+            "limit": exhaustive_limit,
+            "lf3": lf3_layout,
+            "width": width,
+            "backgrounds": (
+                None if backgrounds is None
+                else [list(bg) for bg in backgrounds]),
+        },
+        sort_keys=True,
+        separators=(",", ":"))
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
 def qualification_key(
     test: MarchTest,
     faults: Sequence,

@@ -58,10 +58,26 @@ class QualificationStore:
         # drops the per-commit fsync -- a power loss can at worst cost
         # recent cache entries, never corrupt the database.  Both
         # pragmas are no-ops for in-memory stores.
-        self._conn.execute("PRAGMA journal_mode=WAL")
-        self._conn.execute("PRAGMA synchronous=NORMAL")
-        self._conn.execute(_TABLE_SQL)
-        self._conn.commit()
+        try:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute(_TABLE_SQL)
+            self._conn.commit()
+        except sqlite3.DatabaseError as error:
+            self._conn.close()
+            if type(error) is not sqlite3.DatabaseError:
+                # Subclasses (OperationalError "database is locked",
+                # IntegrityError, ...) signal contention or bugs, not
+                # a corrupt file -- let them propagate untranslated.
+                raise
+            # A path pointing at a non-SQLite file raises the bare
+            # DatabaseError ("file is not a database"); the raw
+            # sqlite3 traceback names neither the path nor the store,
+            # so normalize it to the ValueError every store seam (CLI
+            # included) already reports cleanly.
+            raise ValueError(
+                f"{self.path!r} is not a qualification store "
+                f"database: {error}") from None
         self.session_hits = 0
         self.session_misses = 0
 

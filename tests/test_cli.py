@@ -80,3 +80,138 @@ class TestCommands:
     def test_unknown_fault_list(self):
         with pytest.raises(SystemExit):
             main(["coverage", "March SL", "--fault-list", "nope"])
+
+
+def _one_line_exit(argv):
+    """Run *argv*, asserting a clean non-zero one-line SystemExit.
+
+    The error-path contract: invalid specs exit via ``SystemExit``
+    with a single-line message (argparse prints it and exits 1) --
+    never a traceback escaping as some other exception type.
+    """
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    message = str(excinfo.value)
+    assert message, "error exit must carry a message"
+    assert "\n" not in message.strip()
+    assert excinfo.value.code != 0
+    return message
+
+
+class TestErrorPaths:
+    """Invalid specs exit non-zero with a one-line error, no traceback."""
+
+    @pytest.mark.parametrize("shard", ["abc", "1/x", "x/3", "1/3/9",
+                                       "3"])
+    def test_malformed_shard_specs(self, shard):
+        message = _one_line_exit(
+            ["campaign", "--fault-lists", "2", "--shard", shard])
+        assert "shard" in message
+
+    @pytest.mark.parametrize("shard", ["0/3", "4/3", "1/0", "-1/2"])
+    def test_out_of_range_shard_specs(self, shard):
+        # --shard=SPEC spelling: argparse would otherwise read a
+        # leading-dash spec ("-1/2") as an option name.
+        message = _one_line_exit(
+            ["campaign", "--fault-lists", "2", f"--shard={shard}"])
+        assert "shard" in message
+
+    def test_resume_without_store(self):
+        message = _one_line_exit(
+            ["campaign", "--fault-lists", "2", "--resume"])
+        assert "--store" in message
+
+    @pytest.mark.parametrize("command", [
+        ["coverage", "March C-"],
+        ["simulate", "c(w0) c(r0)"],
+        ["campaign", "--fault-lists", "2"],
+    ])
+    def test_invalid_background_patterns(self, command):
+        message = _one_line_exit(
+            command + ["--fault-list", "2", "--backgrounds", "xx"]
+            if command[0] != "campaign" else
+            command + ["--backgrounds", "xx"])
+        assert "background" in message
+
+    def test_background_width_mismatch(self):
+        message = _one_line_exit(
+            ["coverage", "March C-", "--fault-list", "2",
+             "--width", "4", "--backgrounds", "01"])
+        assert "lanes" in message
+
+    def test_unknown_background_set(self):
+        message = _one_line_exit(
+            ["campaign", "--fault-lists", "2",
+             "--width", "4", "--backgrounds", "zebra"])
+        assert "background" in message
+
+    def test_store_commands_reject_non_database_files(self, tmp_path):
+        bogus = tmp_path / "not-a-store.sqlite"
+        bogus.write_text("definitely not sqlite\n" * 30)
+        for argv in (
+            ["store", "stats", str(bogus)],
+            ["store", "gc", str(bogus)],
+            ["store", "export", str(bogus)],
+            ["store", "merge", str(tmp_path / "out.sqlite"),
+             str(bogus)],
+        ):
+            message = _one_line_exit(argv)
+            assert "not a qualification store" in message
+
+    def test_campaign_rejects_non_database_store(self, tmp_path):
+        bogus = tmp_path / "corrupt.sqlite"
+        bogus.write_text("garbage")
+        message = _one_line_exit(
+            ["campaign", "--fault-lists", "2", "--store", str(bogus)])
+        assert "not a qualification store" in message
+
+    def test_generate_rejects_non_database_store(self, tmp_path):
+        bogus = tmp_path / "corrupt.sqlite"
+        bogus.write_text("garbage")
+        message = _one_line_exit(
+            ["generate", "--fault-list", "2", "--store", str(bogus)])
+        assert "not a qualification store" in message
+
+    def test_dictionary_rejects_non_database_store(self, tmp_path):
+        bogus = tmp_path / "corrupt.sqlite"
+        bogus.write_text("garbage")
+        message = _one_line_exit(
+            ["dictionary", "March C-", "--fault-list", "2",
+             "--store", str(bogus)])
+        assert "not a qualification store" in message
+
+    def test_dictionary_rejects_bad_march(self):
+        message = _one_line_exit(
+            ["dictionary", "not a march (x)", "--fault-list", "2"])
+        assert "neither a known march test" in message
+
+    def test_diagnose_rejects_unknown_fault(self):
+        message = _one_line_exit(
+            ["diagnose", "March C-", "--fault-list", "2",
+             "--inject", "LF1:NOPE"])
+        assert "not in fault list" in message
+
+    def test_diagnose_rejects_bad_placement(self):
+        message = _one_line_exit(
+            ["diagnose", "March C-", "--fault-list", "2",
+             "--inject", "LF1:TFU->SF0", "--placement", "99"])
+        assert "placement" in message
+
+    def test_diagnose_rejects_malformed_signature(self):
+        message = _one_line_exit(
+            ["diagnose", "March C-", "--fault-list", "2",
+             "--signature", "e1x2"])
+        assert "invalid --signature" in message
+
+    def test_dictionary_rejects_bad_word_mode(self):
+        message = _one_line_exit(
+            ["dictionary", "March C-", "--fault-list", "2",
+             "--width", "0"])
+        assert "invalid dictionary build" in message
+
+    def test_diagnose_rejects_bad_max_suffix(self):
+        message = _one_line_exit(
+            ["diagnose", "March C-", "--fault-list", "2",
+             "--inject", "LF1:TFU->SF0", "--distinguish",
+             "--max-suffix", "0"])
+        assert "invalid distinguish run" in message

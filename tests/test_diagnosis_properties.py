@@ -1,0 +1,200 @@
+"""Property tests for the diagnosis invariants.
+
+The contracts the subsystem is built on, checked over randomized
+marches and fault pools:
+
+* **signature stability** -- the dense and sparse kernels report the
+  same signature for every placement, on the bit path, in word mode,
+  and across the width-1 wordization seam;
+* **partition** -- ambiguity classes are disjoint and cover every
+  dictionary entry;
+* **monotone refinement** -- a distinguishing run strictly reduces the
+  largest ambiguity class or terminates with an empty suffix, and its
+  extended march never merges previously-distinguishable placements;
+* **store round-trip** -- a warm rebuild is byte-identical and
+  simulation-free.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.diagnosis import (
+    DistinguishingGenerator,
+    ambiguity_classes,
+    ambiguity_report,
+    build_dictionary,
+    parse_signature,
+    signature_str,
+)
+from repro.faults.lists import fault_list_1, fault_list_2
+from repro.march.known import known_march
+from repro.store import QualificationStore
+from tests.harness import random_marches, stratified
+
+FL2 = fault_list_2()
+FAULT_POOL = list(FL2) + stratified(fault_list_1(), 12)
+
+_fault_slices = st.lists(
+    st.integers(min_value=0, max_value=len(FAULT_POOL) - 1),
+    min_size=1, max_size=8, unique=True,
+).map(lambda indexes: [FAULT_POOL[i] for i in sorted(indexes)])
+
+
+class TestSignatureStability:
+    @given(test=random_marches(), faults=_fault_slices)
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_backends_agree_bit_path(self, test, faults):
+        dense = build_dictionary(
+            test, faults, memory_size=5, backend="dense")
+        sparse = build_dictionary(
+            test, faults, memory_size=5, backend="sparse")
+        assert dense.to_json() == sparse.to_json()
+
+    @given(test=random_marches(), faults=_fault_slices,
+           width=st.sampled_from([2, 4]))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_backends_agree_word_mode(self, test, faults, width):
+        dense = build_dictionary(
+            test, faults, memory_size=6, width=width,
+            backgrounds="standard", backend="dense")
+        sparse = build_dictionary(
+            test, faults, memory_size=6, width=width,
+            backgrounds="standard", backend="sparse")
+        assert dense.to_json() == sparse.to_json()
+
+    @given(test=random_marches(), faults=_fault_slices)
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_width1_wordization_is_the_bit_path(self, test, faults):
+        bit = build_dictionary(test, faults, memory_size=4)
+        word = build_dictionary(
+            test, faults, memory_size=4, width=1,
+            backgrounds=((0,),))
+        assert [e.signature for e in bit.entries] \
+            == [e.signature for e in word.entries]
+
+    @given(test=random_marches(), faults=_fault_slices)
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_signature_text_round_trip(self, test, faults):
+        dictionary = build_dictionary(test, faults, memory_size=4)
+        for entry in dictionary:
+            assert parse_signature(
+                signature_str(entry.signature)) == entry.signature
+
+
+class TestPartitionInvariants:
+    @given(test=random_marches(), faults=_fault_slices)
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_classes_are_disjoint_and_cover(self, test, faults):
+        dictionary = build_dictionary(test, faults, memory_size=4)
+        classes = ambiguity_classes(dictionary)
+        coordinates = set()
+        for cls in classes:
+            assert cls.size > 0
+            for entry in cls.entries:
+                key = (entry.fault_index, entry.instance_index)
+                assert key not in coordinates
+                coordinates.add(key)
+                assert entry.signature == cls.signature
+        assert len(coordinates) == len(dictionary)
+
+    @given(test=random_marches(), faults=_fault_slices)
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_pair_accounting_consistent(self, test, faults):
+        report = ambiguity_report(
+            build_dictionary(test, faults, memory_size=4))
+        assert report.distinguishable_pairs >= 0
+        assert report.indistinguishable_pairs >= 0
+        assert report.distinguishable_pairs \
+            + report.indistinguishable_pairs == report.total_pairs
+        assert 0.0 <= report.resolution <= 1.0
+
+
+class TestDistinguishInvariants:
+    @given(faults=_fault_slices)
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_strictly_splits_or_terminates(self, faults):
+        # A non-empty suffix strictly improves resolution (every
+        # committed step split its target class -- groups >= 2 in the
+        # trace) and never grows any class; an empty suffix means
+        # nothing was splittable and the partition is unchanged.
+        base = known_march("March C-").test
+        dictionary = build_dictionary(base, faults)
+        result = DistinguishingGenerator(
+            dictionary, max_suffix=3).distinguish()
+        if result.suffix:
+            assert result.after.resolution > result.before.resolution
+            assert result.after.max_class_size \
+                <= result.before.max_class_size
+            assert result.trace
+            assert all(step.groups >= 2 for step in result.trace)
+        else:
+            assert result.after.max_class_size \
+                == result.before.max_class_size
+            assert result.after.resolution == result.before.resolution
+
+    @given(faults=_fault_slices)
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_extension_never_merges(self, faults):
+        base = known_march("March C-").test
+        dictionary = build_dictionary(base, faults)
+        result = DistinguishingGenerator(
+            dictionary, max_suffix=3).distinguish()
+        before_class = {}
+        for index, cls in enumerate(result.before.classes):
+            for entry in cls.entries:
+                before_class[
+                    (entry.fault_index, entry.instance_index)] = index
+        for cls in result.after.classes:
+            origins = {
+                before_class[(e.fault_index, e.instance_index)]
+                for e in cls.entries}
+            assert len(origins) == 1
+
+    @given(faults=_fault_slices)
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_base_prefix_is_preserved(self, faults):
+        base = known_march("March C-").test
+        dictionary = build_dictionary(base, faults)
+        result = DistinguishingGenerator(
+            dictionary, max_suffix=3).distinguish()
+        assert result.test.elements[:len(base.elements)] \
+            == base.elements
+        assert result.test.is_consistent()
+
+
+class TestStoreRoundTrip:
+    @given(test=random_marches(), faults=_fault_slices)
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_warm_rebuild_byte_identical_and_simulation_free(
+            self, test, faults):
+        store = QualificationStore()
+        cold = build_dictionary(
+            test, faults, memory_size=4, store=store)
+        warm = build_dictionary(
+            test, faults, memory_size=4, store=store)
+        assert warm.simulated_runs == 0
+        assert warm.store_misses == 0
+        assert cold.to_json() == warm.to_json()
+
+    @given(test=random_marches(), faults=_fault_slices)
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_store_hits_cross_backends(self, test, faults):
+        store = QualificationStore()
+        build_dictionary(
+            test, faults, memory_size=5, store=store,
+            backend="dense")
+        warm = build_dictionary(
+            test, faults, memory_size=5, store=store,
+            backend="sparse")
+        assert warm.simulated_runs == 0

@@ -80,3 +80,42 @@ class TestPruning:
         assert result.original_complexity == 3
         assert result.complexity == 2
         assert result.seconds >= 0
+
+
+class TestGuardedDropPasses:
+    """The public guard-protocol drop passes (used by diagnosis)."""
+
+    class _AcceptAll:
+        def accepts(self, candidate):
+            return True
+
+    def test_drop_operations_survives_dropping_the_last_element(self):
+        # Regression: a permissive guard dropping the final element
+        # through the single-operation path used to re-index past the
+        # shrunken element tuple (IndexError).
+        from repro.core.pruner import drop_operations
+
+        test = parse_march("c(w0) U(r0) U(r0)")
+        reduced, dropped = drop_operations(
+            test, self._AcceptAll(), start=1)
+        assert dropped == 2
+        assert len(reduced.elements) == 1
+
+    def test_drop_elements_respects_start(self):
+        from repro.core.pruner import drop_elements
+
+        test = parse_march("c(w0) U(r0) U(r0)")
+        reduced, dropped = drop_elements(
+            test, self._AcceptAll(), start=1)
+        assert dropped == 2
+        assert reduced.elements == test.elements[:1]
+
+    def test_drop_operations_respects_start(self):
+        from repro.core.pruner import drop_operations
+
+        test = parse_march("c(w0,r0) U(r0,w1)")
+        reduced, dropped = drop_operations(
+            test, self._AcceptAll(), start=1)
+        # The protected prefix keeps both of its operations.
+        assert reduced.elements[0] == test.elements[0]
+        assert dropped >= 1
