@@ -13,6 +13,13 @@ once on the sparse bound-cell kernel, writing per-size wall time,
 contexts/second, the sparse/dense speedup and an identity verdict to
 ``BENCH_sparse.json`` (``--sparse-out``).
 
+With ``--bitpar-sizes N N`` (e.g. ``--bitpar-sizes 3 64``) the script
+additionally runs the **bit-parallel scaling sweep**: the same
+workload per memory size, dense vs the ``bitpar`` lane-packing
+kernel, appended to the main payload as ``bitpar`` -- per-size wall
+time, the bitpar/dense speedup and an identity verdict enter
+``BENCH_campaign.json`` and its regression gate.
+
 With ``--widths W W W`` (e.g. ``--widths 1 4 8``) the script also
 runs the **word-mode sweep**: a compact word-oriented campaign per
 width, dense vs lane-sparse kernel, appended to the main payload as
@@ -48,6 +55,12 @@ As a CI gate (``--gate``) the script fails when:
   ``--sparse-gate-size`` (default 64).  Unlike the pool-speedup leg
   this applies on **any** core count: the win is algorithmic
   (O(bound cells) vs O(size) per element sweep), not parallelism; or
+* (with ``--bitpar-sizes``) the bitpar and dense kernels diverge at
+  any size (never acceptable, on any machine), or bitpar fails to
+  beat dense by ``--min-bitpar-speedup`` (default 2.0) at any size >=
+  ``--bitpar-gate-size`` (default 64) -- like the sparse leg this
+  applies on any core count, since packing 64 placements per machine
+  word is an algorithmic win; or
 * (with ``--widths``) the dense and lane-sparse word kernels diverge
   at any width (never acceptable, on any machine); or
 * (with ``--store``) the warm (all-hits) report differs from the cold
@@ -229,6 +242,50 @@ def run_sparse_sweep(
         "sizes": list(sizes),
         "sparse_gate_size": sparse_gate_size,
         "min_sparse_speedup": min_sparse_speedup,
+        "entries": entries,
+    }
+
+
+def run_bitpar_sweep(
+    sizes: Sequence[int],
+    bitpar_gate_size: int,
+    min_bitpar_speedup: float,
+) -> Dict[str, object]:
+    """Dense-vs-bitpar scaling sweep over *sizes*; gate-ready payload.
+
+    Identity is the acceptance-critical part -- the bit-parallel
+    kernel packs up to 64 placements per machine word and must still
+    reproduce every report byte-for-byte.  The speed leg applies at
+    every size >= the gate size on any machine: lane packing is an
+    algorithmic win, not a core-count one.
+    """
+    workload = _sweep_workload()
+    entries = []
+    for size in sizes:
+        dense = _run(workload, workers=1, memory_sizes=(size,),
+                     backend="dense")
+        bitpar = _run(workload, workers=1, memory_sizes=(size,),
+                      backend="bitpar")
+        identical = (
+            [entry.to_dict() for entry in dense.entries]
+            == [entry.to_dict() for entry in bitpar.entries])
+        speedup = (
+            dense.wall_seconds / bitpar.wall_seconds
+            if bitpar.wall_seconds > 0 else float("inf"))
+        entries.append({
+            "memory_size": size,
+            "dense": _timing(dense),
+            "bitpar": _timing(bitpar),
+            "speedup": speedup,
+            "identical": identical,
+            "speed_gate_applies": size >= bitpar_gate_size,
+        })
+    return {
+        "jobs_per_size": (
+            len(workload["tests"]) * len(workload["fault_lists"])),
+        "sizes": list(sizes),
+        "bitpar_gate_size": bitpar_gate_size,
+        "min_bitpar_speedup": min_bitpar_speedup,
         "entries": entries,
     }
 
@@ -457,6 +514,13 @@ def _history_records(payload: Dict[str, object]) -> Dict[str, dict]:
                 "speedup": entry["speedup"],
                 "identical": entry["identical"],
             }
+        for entry in payload.get("bitpar", {}).get("entries", ()):
+            records[f"bitpar size={entry['memory_size']}"] = {
+                "dense_wall_seconds": entry["dense"]["wall_seconds"],
+                "bitpar_wall_seconds": entry["bitpar"]["wall_seconds"],
+                "speedup": entry["speedup"],
+                "identical": entry["identical"],
+            }
         for entry in payload.get("store", {}).get("entries", ()):
             records[
                 f"store size={entry['memory_size']} "
@@ -545,6 +609,23 @@ def gate(payload: Dict[str, object]) -> List[str]:
                 f"dense and lane-sparse word kernels DIVERGE at "
                 f"width {entry['width']} -- the word sparse kernel "
                 f"is not exact")
+    bitpar_leg = payload.get("bitpar")
+    if bitpar_leg:
+        for entry in bitpar_leg["entries"]:
+            size = entry["memory_size"]
+            if not entry["identical"]:
+                failures.append(
+                    f"bitpar and dense kernels DIVERGE at memory "
+                    f"size {size} -- the bit-parallel kernel is not "
+                    f"exact")
+            if entry["speed_gate_applies"] and \
+                    entry["speedup"] < bitpar_leg["min_bitpar_speedup"]:
+                failures.append(
+                    f"bitpar kernel fails to beat dense at memory "
+                    f"size {size}: speedup {entry['speedup']:.2f}x < "
+                    f"{bitpar_leg['min_bitpar_speedup']:.2f}x (lane "
+                    f"packing is algorithmic, independent of core "
+                    f"count)")
     store_leg = payload.get("store")
     if store_leg:
         for entry in store_leg["entries"]:
@@ -658,6 +739,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--min-sparse-speedup", type=float, default=1.0,
                         help="required sparse-vs-dense speedup at "
                              "gated sizes")
+    parser.add_argument("--bitpar-sizes", nargs="+", type=int,
+                        metavar="N",
+                        help="also run the bitpar-vs-dense scaling "
+                             "sweep at these memory sizes, appended "
+                             "to the main report as 'bitpar'")
+    parser.add_argument("--bitpar-gate-size", type=int, default=64,
+                        help="apply the bitpar speed leg at every "
+                             "swept size >= this (on any core count)")
+    parser.add_argument("--min-bitpar-speedup", type=float, default=2.0,
+                        help="required bitpar-vs-dense speedup at "
+                             "gated sizes")
     parser.add_argument("--widths", nargs="+", type=int, metavar="W",
                         help="also run the word-mode sweep at these "
                              "word widths (e.g. --widths 1 4 8), "
@@ -697,6 +789,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     payload = run_benchmark(
         args.workload, args.workers, args.gate_cores, args.min_speedup)
+    if args.bitpar_sizes:
+        payload["bitpar"] = run_bitpar_sweep(
+            args.bitpar_sizes, args.bitpar_gate_size,
+            args.min_bitpar_speedup)
     if args.widths:
         payload["width_sweep"] = run_width_sweep(args.widths)
     if args.store:
@@ -728,6 +824,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"  speed gate: SKIPPED "
               f"({payload['cpu_count']} cores < {args.gate_cores}; "
               f"identity check still enforced)")
+    if args.bitpar_sizes:
+        leg = payload["bitpar"]
+        print(f"bitpar kernel sweep "
+              f"({leg['jobs_per_size']} jobs per size):")
+        for entry in leg["entries"]:
+            gated = "gated" if entry["speed_gate_applies"] else "info"
+            print(f"  n={entry['memory_size']:<5d} "
+                  f"dense={entry['dense']['wall_seconds']:.2f}s "
+                  f"bitpar={entry['bitpar']['wall_seconds']:.2f}s "
+                  f"speedup={entry['speedup']:.1f}x "
+                  f"identical={entry['identical']} [{gated}]")
     if args.widths:
         sweep = payload["width_sweep"]
         print(f"word-mode width sweep "

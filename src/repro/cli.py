@@ -50,6 +50,7 @@ from repro.faults.lists import (
 from repro.march.known import ALL_KNOWN, known_march
 from repro.march.test import parse_march
 from repro.march.wordize import wordize
+from repro.sim.backends import backend_names, get_backend
 from repro.sim.campaign import CoverageCampaign
 from repro.sim.coverage import CoverageOracle
 from repro.store import QualificationStore
@@ -583,16 +584,24 @@ def _add_word_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
-    """Attach the shared ``--backend`` simulation-kernel selector."""
+    """Attach the shared ``--backend`` simulation-kernel selector.
+
+    Choices and help text come from the live backend registry
+    (:mod:`repro.sim.backends`), so a newly registered kernel is
+    selectable with no CLI change.  Validation happens centrally in
+    :func:`main` (a one-line exit-1 message) rather than through
+    argparse ``choices`` -- deep inside a campaign worker fan-out is
+    too late to learn the name was wrong.
+    """
+    lines = "; ".join(
+        f"'{name}': {get_backend(name).description}"
+        for name in backend_names() if name != "auto")
     parser.add_argument(
-        "--backend", default="auto", choices=("auto", "sparse", "dense"),
-        help="simulation kernel: 'sparse' simulates only a fault's "
-             "bound cells plus one representative per homogeneous "
-             "segment (cost independent of memory size), 'dense' "
-             "walks every cell; 'auto' (default) picks sparse "
-             "whenever the fault semantics allow and the memory size "
-             "makes it pay (>= 4) -- reports are byte-identical "
-             "either way")
+        "--backend", default="auto", metavar="NAME",
+        help=f"simulation kernel, one of {', '.join(backend_names())} "
+             f"-- {lines}; 'auto' (default) resolves by capability "
+             "query over the registry; reports are byte-identical "
+             "across backends")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -892,6 +901,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    backend = getattr(args, "backend", None)
+    if backend is not None and backend not in backend_names():
+        raise SystemExit(
+            f"unknown simulation backend {backend!r}; "
+            f"choose from {', '.join(backend_names())}")
     return args.func(args)
 
 

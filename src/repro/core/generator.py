@@ -52,7 +52,7 @@ from repro.sim.coverage import (
     normalize_word_mode,
 )
 from repro.sim.placements import DEFAULT_MEMORY_SIZE
-from repro.sim.sparse import BACKENDS
+from repro.sim.backends import backend_names
 from repro.store import (
     QualificationStore,
     encode_outcomes,
@@ -195,7 +195,7 @@ class MarchGenerator:
             ``1`` keeps everything in-process.
         backend: simulation backend selector for candidate probing,
             pruning and final qualification (``"auto"`` default; see
-            :data:`repro.sim.sparse.BACKENDS`).  Backends are
+            :func:`repro.sim.backends.backend_names`).  Backends are
             report-identical, so the generated march test does not
             depend on the choice.
         width: bits per word; ``width > 1`` (or explicit
@@ -264,10 +264,10 @@ class MarchGenerator:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
-        if backend not in BACKENDS:
+        if backend not in backend_names():
             raise ValueError(
                 f"unknown simulation backend {backend!r}; "
-                f"choose from {BACKENDS}")
+                f"choose from {backend_names()}")
         self.backend = backend
         self.width, self.backgrounds = normalize_word_mode(
             width, backgrounds)

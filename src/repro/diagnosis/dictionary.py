@@ -47,7 +47,7 @@ from repro.sim.coverage import (
 )
 from repro.sim.engine import run_march
 from repro.sim.placements import DEFAULT_MEMORY_SIZE
-from repro.sim.sparse import BACKENDS, make_memory
+from repro.sim.backends import backend_names, make_memory
 from repro.store import (
     QualificationStore,
     open_store,
@@ -379,10 +379,10 @@ def build_dictionary(
     Raises:
         ValueError: on an unknown backend or invalid word mode.
     """
-    if backend not in BACKENDS:
+    if backend not in backend_names():
         raise ValueError(
             f"unknown simulation backend {backend!r}; "
-            f"choose from {BACKENDS}")
+            f"choose from {backend_names()}")
     if workers < 1:
         raise ValueError("workers must be >= 1")
     width, resolved = normalize_word_mode(width, backgrounds)

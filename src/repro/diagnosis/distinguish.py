@@ -66,7 +66,7 @@ from repro.memory.word import (
     run_word_march,
 )
 from repro.sim.engine import run_element, run_march
-from repro.sim.sparse import make_memory
+from repro.sim.backends import make_memory
 
 
 @dataclass

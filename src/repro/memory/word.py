@@ -343,16 +343,15 @@ def make_word_memory(
 ) -> WordMemory:
     """Construct the word simulation memory for *fault* under *backend*.
 
-    The same seam as :func:`repro.sim.sparse.make_memory`: ``"auto"``
-    picks the sparse kernel whenever the fault's semantics allow it and
-    the *word count* clears the crossover (both kernels are
+    A convenience wrapper over the registry's unified seam,
+    :func:`repro.sim.backends.make_memory` -- ``"auto"`` resolution
+    consults the registered backends' capability predicates against the
+    fault semantics and the *word count* (all backends are
     report-identical at every geometry).
     """
-    from repro.sim.sparse import resolve_backend
+    from repro.sim.backends import make_memory
 
-    if resolve_backend(backend, (fault,), words) == "sparse":
-        return SparseWordMemory(words, width, fault)
-    return WordMemory(words, width, fault)
+    return make_memory(words, fault, backend, width=width)
 
 
 def word_blank_snapshot(
@@ -363,13 +362,16 @@ def word_blank_snapshot(
 ) -> int:
     """The packed all-uninitialized snapshot of a word memory.
 
-    Dense memories pack the full ``words * width`` array; sparse ones
-    pack only the bound-word lanes plus the per-lane representatives
-    (O(width), independent of the word count).
+    Dense memories pack the full ``words * width`` array;
+    sparse-snapshot backends (see
+    :attr:`repro.sim.backends.Backend.sparse_snapshot`) pack only the
+    bound-word lanes plus the per-lane representatives (O(width),
+    independent of the word count).
     """
-    from repro.sim.sparse import resolve_backend
+    from repro.sim.backends import get_backend, resolve_backend
 
-    if resolve_backend(backend, (instance,), words) == "sparse":
+    resolved = resolve_backend(backend, (instance,), words, width)
+    if get_backend(resolved).sparse_snapshot:
         stored = len(bound_word_cells(
             instance.cells if instance is not None else (), width))
         return pack_word((DONT_CARE,) * (stored + width))

@@ -4,11 +4,17 @@
   fault class must be detected under;
 * :mod:`repro.sim.batch` -- memoized placement/instance binding and the
   bit-packed/chunking fast path shared by the oracles;
+* :mod:`repro.sim.backends` -- the simulation-backend registry:
+  capability-queried ``"auto"`` resolution, the unified
+  ``make_memory`` construction seam and the placement-batch protocol;
 * :mod:`repro.sim.engine` -- executing a march test against a faulty
   memory, including the up/down resolutions of ``⇕`` elements;
 * :mod:`repro.sim.sparse` -- the size-independent sparse kernel:
   simulate only a fault's bound cells plus one representative per
-  homogeneous segment (selected via ``backend=`` / ``"auto"``);
+  homogeneous segment;
+* :mod:`repro.sim.bitpar` -- the bit-parallel kernel: pack up to 64
+  placements of one fault into integer bit-lanes and simulate each
+  march element once per packed word;
 * :mod:`repro.sim.coverage` -- the coverage oracle: does a march test
   detect every instance of every fault in a list?
 * :mod:`repro.sim.campaign` -- batched multi-test × multi-list ×
@@ -16,11 +22,19 @@
 """
 
 from repro.sim.placements import role_placements, order_resolutions
+from repro.sim.backends import (
+    Backend,
+    PlacementBatch,
+    backend_names,
+    get_backend,
+    kernel_supported,
+    make_memory,
+    register_backend,
+    resolve_backend,
+)
 from repro.sim.sparse import (
     BACKENDS,
     SparseMemory,
-    make_memory,
-    resolve_backend,
     sparse_supported,
 )
 from repro.sim.engine import (
@@ -43,10 +57,16 @@ from repro.sim.campaign import (
 __all__ = [
     "role_placements",
     "order_resolutions",
+    "Backend",
+    "PlacementBatch",
+    "backend_names",
+    "get_backend",
+    "kernel_supported",
+    "make_memory",
+    "register_backend",
+    "resolve_backend",
     "BACKENDS",
     "SparseMemory",
-    "make_memory",
-    "resolve_backend",
     "sparse_supported",
     "DetectionSite",
     "run_march",

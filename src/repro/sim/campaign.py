@@ -45,7 +45,7 @@ from repro.sim.coverage import (
     report_from_outcomes,
 )
 from repro.sim.placements import DEFAULT_MEMORY_SIZE, LF3_LAYOUTS
-from repro.sim.sparse import BACKENDS
+from repro.sim.backends import backend_names
 from repro.store import (
     QualificationStore,
     decode_outcomes,
@@ -255,11 +255,11 @@ class CoverageCampaign:
         exhaustive_limit: ``⇕`` resolution threshold for the oracle.
         chunk_size: faults per pool task (default: sized so each
             worker gets roughly four chunks per job).
-        backend: simulation backend selector (``"auto"``, ``"sparse"``
-            or ``"dense"``; see :data:`repro.sim.sparse.BACKENDS`).
-            Reports are byte-identical across backends -- the sparse
-            kernel is an exact O(1)-per-element-sweep replacement for
-            the dense every-cell walk.
+        backend: simulation backend selector (``"auto"`` or any name
+            from :func:`repro.sim.backends.backend_names`).  Reports
+            are byte-identical across backends -- the sparse and
+            bit-parallel kernels are exact replacements for the dense
+            every-cell walk.
         width: bits per word; ``width > 1`` (or explicit
             *backgrounds*) runs every job word-oriented: memory sizes
             count words, placements include intra-word lane layouts
@@ -357,10 +357,10 @@ class CoverageCampaign:
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
         self.chunk_size = chunk_size
-        if backend not in BACKENDS:
+        if backend not in backend_names():
             raise ValueError(
                 f"unknown simulation backend {backend!r}; "
-                f"choose from {BACKENDS}")
+                f"choose from {backend_names()}")
         self.backend = backend
         self.store = open_store(store)
         if shard is not None:

@@ -35,15 +35,15 @@ from repro.memory.injection import FaultInstance
 from repro.memory.sram import FaultyMemory
 from repro.memory.word import (
     WORD_CACHES as _ENGINE_WORD_CACHES,
-    make_word_memory,
     run_word_element,
     word_blank_snapshot,
     word_detects_instance,
 )
+from repro.sim.backends import get_backend, resolve_backend
 from repro.sim.batch import cached_instances, register_cache
 from repro.sim.engine import detects_instance, run_element
 from repro.sim.placements import DEFAULT_MEMORY_SIZE
-from repro.sim.sparse import blank_snapshot, make_memory, resolve_backend
+from repro.sim.sparse import blank_snapshot
 from repro.store import (
     QualificationStore,
     decode_outcomes,
@@ -256,8 +256,10 @@ class CoverageOracle:
             per the Figure 1 calibration; ``"all"`` for the strict
             superset).
         backend: simulation backend selector (``"auto"`` default --
-            the sparse kernel whenever the fault list's semantics
-            allow; see :data:`repro.sim.sparse.BACKENDS`).
+            capability-resolved over the registry, see
+            :func:`repro.sim.backends.resolve_backend`; any name from
+            :func:`repro.sim.backends.backend_names` selects that
+            backend explicitly).
         width: bits per word; ``width > 1`` (or explicit
             *backgrounds*) qualifies word-oriented: ``memory_size``
             counts words, placements include intra-word lane layouts,
@@ -516,8 +518,18 @@ class IncrementalCoverage:
         self.exhaustive_limit = exhaustive_limit
         self.lf3_layout = lf3_layout
         self.backend = resolve_backend(backend, self.faults, memory_size)
+        self._backend_obj = get_backend(self.backend)
         self.width, self.backgrounds = normalize_word_mode(
             width, backgrounds)
+        #: Fault-granularity backends advance whole groups of pending
+        #: placement contexts per element through this
+        #: :class:`~repro.sim.backends.PlacementBatch` instead of being
+        #: driven one context (and one memory) at a time.
+        self._batch = (
+            self._backend_obj.make_batch(
+                memory_size, self.width, self.backgrounds)
+            if self._backend_obj.batch_granularity == "fault"
+            else None)
         self._element_count = 0
         self._pending: List[_Context] = []
         #: Pending contexts grouped by fault index, in pending order --
@@ -554,7 +566,7 @@ class IncrementalCoverage:
             instances = cached_instances(fault, memory_size, lf3_layout)
             contexts = []
             for instance in instances:
-                if self.backend == "sparse":
+                if self._backend_obj.sparse_snapshot:
                     blank = blank_snapshot(len(instance.cells))
                 else:
                     blank = dense_blank
@@ -577,10 +589,10 @@ class IncrementalCoverage:
                 fault, self.memory_size, self.width, self.lf3_layout)
             contexts = []
             for instance in instances:
-                if self.backend == "sparse":
+                if self._backend_obj.sparse_snapshot:
                     blank = word_blank_snapshot(
                         instance, self.memory_size, self.width,
-                        "sparse")
+                        self.backend)
                 else:
                     blank = dense_blank
                 for bg_index in range(len(self.backgrounds)):
@@ -739,6 +751,8 @@ class IncrementalCoverage:
             directions = (True,)
         else:
             directions = (False, True)
+        if self._batch is not None:
+            return self._advance_batched(pending, element, directions)
         survivors: List[_Context] = []
         word = self.backgrounds is not None
         for ctx in pending:
@@ -764,6 +778,41 @@ class IncrementalCoverage:
                                       if len(directions) == 2 else ()),
                     memory.packed_state(),
                     memory.previous_operation,
+                    ctx.background,
+                ))
+        return survivors
+
+    def _advance_batched(
+        self,
+        pending: List[_Context],
+        element: MarchElement,
+        directions: Tuple[bool, ...],
+    ) -> List[_Context]:
+        """The fault-granularity form of :meth:`_advance`.
+
+        The backend's :class:`~repro.sim.backends.PlacementBatch`
+        simulates every pending context in grouped packs; survivors
+        are assembled context-major, direction-minor -- the exact
+        order (and ``contexts_simulated`` accounting) of the
+        one-memory-at-a-time loop, so reports, witnesses and dedup
+        behaviour are byte-identical.
+        """
+        outcomes = self._batch.advance_all(
+            pending, element, self._element_count, directions)
+        fork = len(directions) == 2
+        survivors: List[_Context] = []
+        for ctx, per_direction in zip(pending, outcomes):
+            self.contexts_simulated += len(directions)
+            for descending, outcome in zip(directions, per_direction):
+                if outcome is None:
+                    continue
+                snapshot, previous = outcome
+                survivors.append(_Context(
+                    ctx.fault_index,
+                    ctx.instance,
+                    ctx.resolution + ((descending,) if fork else ()),
+                    snapshot,
+                    previous,
                     ctx.background,
                 ))
         return survivors
@@ -804,13 +853,9 @@ class IncrementalCoverage:
         """The pooled reusable memory bound to *instance*."""
         memory = self._memories.get(id(instance))
         if memory is None:
-            if self.backgrounds is not None:
-                memory = make_word_memory(
-                    self.memory_size, self.width, instance,
-                    self.backend)
-            else:
-                memory = make_memory(
-                    self.memory_size, instance, self.backend)
+            memory = self._backend_obj.make_memory(
+                self.memory_size, instance,
+                self.width if self.backgrounds is not None else None)
             self._memories[id(instance)] = memory
         return memory
 

@@ -137,10 +137,10 @@ def detects_instance(
         exhaustive_limit: see
             :func:`repro.sim.placements.order_resolutions`.
         backend: simulation backend selector (see
-            :data:`repro.sim.sparse.BACKENDS`).
+            :func:`repro.sim.backends.backend_names`).
     """
-    # Imported lazily: the sparse module builds on this one.
-    from repro.sim.sparse import make_memory
+    # Imported lazily: the backend registry builds on this module.
+    from repro.sim.backends import make_memory
 
     any_count = sum(
         1 for el in test.elements if el.order is AddressOrder.ANY)
@@ -164,7 +164,7 @@ def escape_sites(
     escape) -- used by examples and failure analyses to show *where*
     masking defeated a test.
     """
-    from repro.sim.sparse import make_memory
+    from repro.sim.backends import make_memory
 
     any_count = sum(
         1 for el in test.elements if el.order is AddressOrder.ANY)

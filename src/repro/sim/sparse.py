@@ -45,9 +45,8 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import List, NamedTuple, Optional, Sequence, Tuple
 
-from repro.faults.linked import LinkedFault
 from repro.faults.operations import OpKind, Operation
-from repro.faults.primitives import FaultPrimitive, PreviousOperation
+from repro.faults.primitives import PreviousOperation
 from repro.faults.values import (
     Bit,
     CellState,
@@ -62,37 +61,26 @@ from repro.memory.sram import (
     partition_primitives,
     replay_visits_with_cycle_detection,
 )
+from repro.sim import backends as _backends
+from repro.sim.backends import SPARSE_AUTO_MIN_SIZE as SPARSE_AUTO_MIN_SIZE
+from repro.sim.backends import kernel_supported
 from repro.sim.batch import cached_segment_walks, register_cache
 
-#: Recognized simulation backend selectors.  ``"auto"`` resolves to
-#: ``"sparse"`` whenever every target's semantics allow it (see
-#: :func:`sparse_supported`) and the memory is large enough for the
-#: segment walk to pay for itself; ``"dense"`` otherwise.
-BACKENDS: Tuple[str, ...] = ("auto", "sparse", "dense")
+# ----------------------------------------------------------------------
+# Deprecated backend-dispatch shims
+# ----------------------------------------------------------------------
+# Backend selection moved to the first-class registry in
+# :mod:`repro.sim.backends`.  The names below survive one release for
+# backward compatibility; all in-repo callers go through the registry.
 
-#: Smallest memory size at which ``"auto"`` picks the sparse kernel.
-#: Below it (the 3-cell default geometry, where bound cells cover the
-#: whole array and segments are empty) the dense walk is measurably
-#: faster -- the sparse kernel's win is algorithmic in the segment
-#: lengths, and there are no segments to collapse.  Both kernels are
-#: report-identical at every size, so this is purely a speed heuristic.
-SPARSE_AUTO_MIN_SIZE = 4
+#: Deprecated: use :func:`repro.sim.backends.backend_names`.  Snapshot
+#: of the selectors registered at import time.
+BACKENDS: Tuple[str, ...] = _backends.backend_names()
 
 
 def sparse_supported(fault: object) -> bool:
-    """Can the sparse kernel simulate *fault* exactly?
-
-    The kernel's exactness argument relies on the fault binding every
-    primitive to concrete cell addresses whose sensitization depends
-    only on bound-cell states and the physical-address previous-op
-    record -- true for every fault model this package defines (linked
-    faults, simple fault primitives and their bound instances, plus
-    ``None`` for a golden memory).  Foreign fault objects (e.g. a
-    future address-decoder model with whole-array scope) are not
-    assumed sparse-safe and route ``"auto"`` to the dense kernel.
-    """
-    return fault is None or isinstance(
-        fault, (LinkedFault, FaultPrimitive, FaultInstance))
+    """Deprecated: use :func:`repro.sim.backends.kernel_supported`."""
+    return kernel_supported(fault)
 
 
 def resolve_backend(
@@ -100,31 +88,8 @@ def resolve_backend(
     faults: Sequence[object] = (),
     memory_size: Optional[int] = None,
 ) -> str:
-    """Resolve a backend selector to ``"sparse"`` or ``"dense"``.
-
-    Args:
-        backend: one of :data:`BACKENDS`.
-        faults: the coverage targets (or bound instances) the backend
-            will simulate; consulted only by ``"auto"``.
-        memory_size: the simulated memory size, when known; ``"auto"``
-            keeps the dense kernel below
-            :data:`SPARSE_AUTO_MIN_SIZE` (a speed heuristic only --
-            results are identical either way).
-
-    Raises:
-        ValueError: for an unknown selector.
-    """
-    if backend not in BACKENDS:
-        raise ValueError(
-            f"unknown simulation backend {backend!r}; "
-            f"choose from {BACKENDS}")
-    if backend == "auto":
-        if memory_size is not None and memory_size < SPARSE_AUTO_MIN_SIZE:
-            return "dense"
-        if all(sparse_supported(fault) for fault in faults):
-            return "sparse"
-        return "dense"
-    return backend
+    """Deprecated: use :func:`repro.sim.backends.resolve_backend`."""
+    return _backends.resolve_backend(backend, faults, memory_size)
 
 
 def make_memory(
@@ -132,10 +97,8 @@ def make_memory(
     fault: Optional[FaultInstance] = None,
     backend: str = "auto",
 ) -> FaultyMemory:
-    """Construct the simulation memory for *fault* under *backend*."""
-    if resolve_backend(backend, (fault,), memory_size) == "sparse":
-        return SparseMemory(memory_size, fault)
-    return FaultyMemory(memory_size, fault)
+    """Deprecated: use :func:`repro.sim.backends.make_memory`."""
+    return _backends.make_memory(memory_size, fault, backend)
 
 
 def blank_snapshot(bound_cells: int) -> int:

@@ -14,7 +14,20 @@ import hypothesis.strategies as st
 from repro.faults.operations import read, wait, write
 from repro.march.element import AddressOrder, MarchElement
 from repro.march.test import MarchTest
+from repro.sim.backends import backend_names
 from repro.sim.coverage import qualify_test
+
+
+def alternative_backends():
+    """Every registered backend to pin against the dense oracle.
+
+    Derived from the live registry, not a hard-coded list: registering
+    a new simulation kernel automatically enrolls it in every
+    differential suite built on :func:`assert_backends_identical`.
+    """
+    return tuple(
+        name for name in backend_names()
+        if name not in ("auto", "dense"))
 
 
 def report_key(report):
@@ -41,21 +54,29 @@ def report_key(report):
 
 def assert_backends_identical(
     test, faults, size=3, layout="straddle",
-    width=1, backgrounds=None, exhaustive_limit=6,
+    width=1, backgrounds=None, exhaustive_limit=6, backends=None,
 ):
-    """Pin the sparse kernel byte-for-byte against the dense oracle.
+    """Pin every registered backend byte-for-byte against the dense
+    oracle.
 
     Works on both memory models: the bit path (default) and the
     word-oriented path (``width > 1`` or explicit *backgrounds*).
-    Returns the dense report so callers can make further assertions.
+    *backends* defaults to :func:`alternative_backends` -- the live
+    registry minus ``auto``/``dense``.  Returns the dense report so
+    callers can make further assertions.
     """
+    if backends is None:
+        backends = alternative_backends()
     dense = qualify_test(
         test, faults, size, exhaustive_limit, layout, "dense",
         width, backgrounds)
-    sparse = qualify_test(
-        test, faults, size, exhaustive_limit, layout, "sparse",
-        width, backgrounds)
-    assert report_key(dense) == report_key(sparse)
+    expected = report_key(dense)
+    for backend in backends:
+        candidate = qualify_test(
+            test, faults, size, exhaustive_limit, layout, backend,
+            width, backgrounds)
+        assert report_key(candidate) == expected, \
+            f"backend {backend!r} diverged from dense"
     return dense
 
 

@@ -81,6 +81,15 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["coverage", "March SL", "--fault-list", "nope"])
 
+    def test_registry_backend_selectable_by_name(self, capsys):
+        # Any registered backend name works on any command that takes
+        # --backend, with byte-identical output to the default.
+        assert main(["coverage", "March ABL1", "--fault-list", "2",
+                     "--backend", "bitpar"]) == 0
+        bitpar_out = capsys.readouterr().out
+        assert main(["coverage", "March ABL1", "--fault-list", "2"]) == 0
+        assert capsys.readouterr().out == bitpar_out
+
 
 def _one_line_exit(argv):
     """Run *argv*, asserting a clean non-zero one-line SystemExit.
@@ -115,6 +124,20 @@ class TestErrorPaths:
         message = _one_line_exit(
             ["campaign", "--fault-lists", "2", f"--shard={shard}"])
         assert "shard" in message
+
+    @pytest.mark.parametrize("command", [
+        ["campaign", "--fault-lists", "2"],
+        ["coverage", "March C-", "--fault-list", "2"],
+        ["generate", "--fault-list", "lf1"],
+    ])
+    def test_unknown_backend_exits_with_known_list(self, command):
+        # Validated against the live registry before any command (or
+        # campaign worker fan-out) runs; the message names every
+        # accepted selector.
+        message = _one_line_exit(command + ["--backend", "gpu"])
+        assert "backend" in message
+        for name in ("auto", "sparse", "dense", "bitpar"):
+            assert name in message
 
     def test_resume_without_store(self):
         message = _one_line_exit(
