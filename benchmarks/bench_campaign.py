@@ -495,6 +495,99 @@ def run_dictionary_leg(
         store.close()
 
 
+def _bare_pool_run(workload: Dict[str, object], workers: int):
+    """One bare-pool campaign pass: (entry dicts, wall seconds).
+
+    Replicates the pre-supervisor fan-out -- a plain
+    ``ProcessPoolExecutor`` submitting fault chunks with no timeouts,
+    retries or checkpointing -- as the floor the supervised path's
+    bookkeeping overhead is measured against.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+    from time import perf_counter
+
+    from repro.sim.batch import auto_chunk_size, chunked
+    from repro.sim.campaign import CampaignEntry
+    from repro.sim.coverage import (
+        qualify_outcomes,
+        report_from_outcomes,
+    )
+
+    campaign = CoverageCampaign(
+        workload["tests"], workload["fault_lists"], workers=workers)
+    start = perf_counter()
+    entries = []
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for job in campaign.jobs():
+            faults = campaign.fault_lists[job.fault_list]
+            size = auto_chunk_size(len(faults), workers)
+            futures = [
+                pool.submit(
+                    qualify_outcomes, job.test, chunk,
+                    job.memory_size, campaign.exhaustive_limit,
+                    job.lf3_layout, campaign.backend, job.width,
+                    job.backgrounds)
+                for chunk in chunked(faults, size)
+            ]
+            outcomes: List[object] = []
+            contexts = 0
+            for future in futures:
+                chunk_outcomes, chunk_contexts = future.result()
+                outcomes.extend(chunk_outcomes)
+                contexts += chunk_contexts
+            entries.append(CampaignEntry(job, report_from_outcomes(
+                job.test.name, faults, outcomes, contexts)))
+    wall = perf_counter() - start
+    return [entry.to_dict() for entry in entries], wall
+
+
+def run_chaos_overhead_leg(
+    workload_name: str,
+    workers: int,
+    max_overhead: float,
+    repeats: int = 2,
+) -> Dict[str, object]:
+    """Supervised-vs-bare-pool overhead benchmark, gate-ready payload.
+
+    The supervisor's recovery ladder (deadline tracking, retry
+    bookkeeping, in-order stitching) runs in the parent while workers
+    simulate, so a clean run must cost within ``max_overhead`` of the
+    bare pool it replaced.  Both legs take the best of *repeats* runs
+    to damp scheduler noise, and the supervised entries must stay
+    byte-identical to the bare pool's.
+    """
+    workload = _workload(workload_name)
+    bare_entries = None
+    bare_wall = float("inf")
+    for _ in range(repeats):
+        entries, wall = _bare_pool_run(workload, workers)
+        bare_wall = min(bare_wall, wall)
+        bare_entries = entries
+    supervised_entries = None
+    supervised_wall = float("inf")
+    clean = True
+    for _ in range(repeats):
+        result = _run(workload, workers=workers)
+        supervised_wall = min(supervised_wall, result.wall_seconds)
+        supervised_entries = [
+            entry.to_dict() for entry in result.entries]
+        clean = clean and not result.failure_report
+    overhead = (
+        supervised_wall / bare_wall - 1.0
+        if bare_wall > 0 else 0.0)
+    return {
+        "workload": workload_name,
+        "workers": workers,
+        "repeats": repeats,
+        "bare_wall_seconds": bare_wall,
+        "supervised_wall_seconds": supervised_wall,
+        "overhead": overhead,
+        "max_overhead": max_overhead,
+        "identical": bare_entries == supervised_entries,
+        "clean": clean,
+    }
+
+
 def _history_records(payload: Dict[str, object]) -> Dict[str, dict]:
     """Compact per-key timing records of one benchmark run."""
     records: Dict[str, dict] = {}
@@ -530,6 +623,16 @@ def _history_records(payload: Dict[str, object]) -> Dict[str, dict]:
                 "warm_wall_seconds": entry["warm"]["wall_seconds"],
                 "speedup": entry["speedup"],
                 "identical": entry["identical"],
+            }
+        overhead_leg = payload.get("chaos_overhead")
+        if overhead_leg:
+            records["chaos-overhead"] = {
+                "bare_wall_seconds":
+                    overhead_leg["bare_wall_seconds"],
+                "supervised_wall_seconds":
+                    overhead_leg["supervised_wall_seconds"],
+                "overhead": overhead_leg["overhead"],
+                "identical": overhead_leg["identical"],
             }
         for entry in payload.get("dictionary", {}).get("entries", ()):
             records[
@@ -654,6 +757,24 @@ def gate(payload: Dict[str, object]) -> List[str]:
                     f"{cell}: {entry['speedup']:.1f}x < "
                     f"{store_leg['min_store_speedup']:.1f}x (a hit "
                     f"is a key lookup, the win must be algorithmic)")
+    overhead_leg = payload.get("chaos_overhead")
+    if overhead_leg:
+        if not overhead_leg["identical"]:
+            failures.append(
+                "supervised campaign entries DIVERGE from the bare "
+                "process pool's -- the recovery ladder changed a "
+                "clean run's result")
+        if not overhead_leg["clean"]:
+            failures.append(
+                "supervised campaign recorded failure events on an "
+                "undisturbed run -- the supervisor is striking "
+                "healthy chunks")
+        if overhead_leg["overhead"] > overhead_leg["max_overhead"]:
+            failures.append(
+                f"supervisor overhead gate: clean supervised run is "
+                f"{overhead_leg['overhead']:+.1%} vs the bare pool "
+                f"(allowed {overhead_leg['max_overhead']:.1%}); the "
+                f"ladder's bookkeeping must stay off the hot path")
     dictionary_leg = payload.get("dictionary")
     if dictionary_leg:
         minimum = dictionary_leg["min_dictionary_speedup"]
@@ -782,6 +903,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="required warm-vs-cold speedup for the "
                              "dictionary leg (applies on any "
                              "machine)")
+    parser.add_argument("--chaos-overhead", action="store_true",
+                        help="also run the supervisor-overhead leg: "
+                             "a clean supervised campaign vs the "
+                             "bare process pool it replaced, "
+                             "appended to the main report as "
+                             "'chaos_overhead'")
+    parser.add_argument("--max-chaos-overhead", type=float,
+                        default=0.05,
+                        help="maximum supervised-vs-bare overhead "
+                             "the gate allows on a clean run "
+                             "(fraction, default 0.05 = 5%%)")
+    parser.add_argument("--chaos-overhead-repeats", type=int,
+                        default=2,
+                        help="take the best of this many runs per "
+                             "leg to damp scheduler noise")
     parser.add_argument("--history-cap", type=int, default=20,
                         help="keep at most this many history records "
                              "per benchmark key in the output files")
@@ -801,6 +937,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             sizes=tuple(args.sizes or (3,)),
             widths=tuple(args.widths or (1,)),
             store_path=args.store_path)
+    if args.chaos_overhead:
+        payload["chaos_overhead"] = run_chaos_overhead_leg(
+            args.workload, args.workers, args.max_chaos_overhead,
+            repeats=args.chaos_overhead_repeats)
     if args.dictionary:
         payload["dictionary"] = run_dictionary_leg(
             args.min_dictionary_speedup,
@@ -856,6 +996,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   f"warm={entry['warm']['wall_seconds']:.3f}s "
                   f"speedup={entry['speedup']:.1f}x "
                   f"identical={entry['identical']}")
+    if args.chaos_overhead:
+        leg = payload["chaos_overhead"]
+        print(f"supervisor overhead leg "
+              f"(best of {leg['repeats']}, "
+              f"workers={leg['workers']}):")
+        print(f"  bare={leg['bare_wall_seconds']:.2f}s "
+              f"supervised={leg['supervised_wall_seconds']:.2f}s "
+              f"overhead={leg['overhead']:+.1%} "
+              f"(max {leg['max_overhead']:.0%}) "
+              f"identical={leg['identical']} clean={leg['clean']}")
     if args.dictionary:
         leg = payload["dictionary"]
         print(f"fault dictionary leg "

@@ -52,6 +52,7 @@ from repro.march.test import parse_march
 from repro.march.wordize import wordize
 from repro.sim.backends import backend_names, get_backend
 from repro.sim.campaign import CoverageCampaign
+from repro.sim.supervisor import CampaignExecutionError
 from repro.sim.coverage import CoverageOracle
 from repro.store import QualificationStore
 
@@ -181,6 +182,16 @@ def _parse_shard(text: Optional[str]):
             f"invalid shard spec {text!r}; expected i/N, e.g. 2/3")
 
 
+def _resume_command(args: argparse.Namespace) -> str:
+    """The exact command that resumes this interrupted invocation."""
+    import shlex
+
+    argv = list(getattr(args, "_argv", None) or [])
+    if "--resume" not in argv:
+        argv.append("--resume")
+    return shlex.join(["repro-march"] + argv)
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     import os
 
@@ -218,11 +229,32 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             backend=args.backend,
             store=args.store,
             shard=_parse_shard(args.shard),
+            timeout=args.timeout,
+            chaos=args.chaos,
             **_word_kwargs(args),
         )
     except ValueError as error:
         raise SystemExit(f"invalid campaign: {error}")
-    result = campaign.run()
+    try:
+        result = campaign.run()
+    except KeyboardInterrupt:
+        # Completed chunks were checkpointed as they landed; close
+        # the store (WAL checkpoint) so they are durable, then hand
+        # the user the exact resume command.
+        print()
+        if campaign.store is not None:
+            campaign.store.close()
+            print(f"interrupted: completed work is checkpointed in "
+                  f"{args.store!r}")
+            print(f"resume with: {_resume_command(args)}")
+        else:
+            print("interrupted: no --store attached, progress was "
+                  "not persisted")
+        return 130
+    except CampaignExecutionError as error:
+        if campaign.store is not None:
+            campaign.store.close()
+        raise SystemExit(str(error))
     print(result.render())
     print(result.summary())
     if args.verbose:
@@ -318,6 +350,11 @@ def _build_cli_dictionary(args: argparse.Namespace):
     faults = _fault_list(args.fault_list)
     store = _open_optional_store(args.store)
     try:
+        policy = None
+        timeout = getattr(args, "timeout", None)
+        if timeout is not None:
+            from repro.sim.supervisor import SupervisorPolicy
+            policy = SupervisorPolicy(timeout=timeout)
         dictionary = build_dictionary(
             test, faults,
             memory_size=args.size,
@@ -325,10 +362,29 @@ def _build_cli_dictionary(args: argparse.Namespace):
             backend=args.backend,
             store=store,
             workers=args.workers,
+            policy=policy,
+            chaos=getattr(args, "chaos", None),
             **_word_kwargs(args),
         )
     except ValueError as error:
         raise SystemExit(f"invalid dictionary build: {error}")
+    except KeyboardInterrupt:
+        # Finished signature rows were recorded incrementally;
+        # checkpoint them and point at the warm-resume property.
+        print()
+        if store is not None:
+            store.close()
+            print(f"interrupted: completed signature rows are "
+                  f"checkpointed in {args.store!r}; re-running the "
+                  f"same command resumes without re-simulating them")
+        else:
+            print("interrupted: no --store attached, progress was "
+                  "not persisted")
+        raise SystemExit(130)
+    except CampaignExecutionError as error:
+        if store is not None:
+            store.close()
+        raise SystemExit(str(error))
     return dictionary, store
 
 
@@ -734,6 +790,18 @@ def build_parser() -> argparse.ArgumentParser:
              "--store and re-runs only the cells missing from it "
              "(the final report is byte-identical to an "
              "uninterrupted run)")
+    campaign.add_argument(
+        "--timeout", type=float, metavar="SECONDS",
+        help="per-chunk wall-clock budget for parallel execution: a "
+             "chunk past its budget is retried on a fresh worker "
+             "pool (hung-worker recovery; default: unbounded)")
+    campaign.add_argument(
+        "--chaos", metavar="SPEC",
+        help="deterministic fault injection for testing the "
+             "supervisor, e.g. 'crash=0.3,poison=0.2,seed=7' (rates "
+             "for crash/hang/slow/poison/lock, plus seed, attempts, "
+             "slow_seconds, hang_seconds); the recovered report "
+             "stays byte-identical to an undisturbed run")
     _add_backend_argument(campaign)
     _add_word_arguments(campaign)
     campaign.add_argument("--verbose", action="store_true")
@@ -791,6 +859,15 @@ def build_parser() -> argparse.ArgumentParser:
     dictionary.add_argument(
         "--ambiguity-json", metavar="PATH",
         help="write the ambiguity report as JSON")
+    dictionary.add_argument(
+        "--timeout", type=float, metavar="SECONDS",
+        help="wall-clock budget per signature chunk; hung workers "
+             "are killed and their chunks retried")
+    dictionary.add_argument(
+        "--chaos", metavar="SPEC",
+        help="inject deterministic worker faults while building "
+             "(same spec syntax as campaign --chaos); the dictionary "
+             "must come out byte-identical regardless")
     dictionary.set_defaults(func=_cmd_dictionary)
 
     diagnose = sub.add_parser(
@@ -901,6 +978,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    # The raw invocation, kept so interrupt handlers can print the
+    # exact resume command.
+    args._argv = list(sys.argv[1:] if argv is None else argv)
     backend = getattr(args, "backend", None)
     if backend is not None and backend not in backend_names():
         raise SystemExit(

@@ -25,7 +25,6 @@ and performs **zero simulations**.
 from __future__ import annotations
 
 import json
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -45,9 +44,16 @@ from repro.sim.coverage import (
     normalize_word_mode,
     signature_runs,
 )
+from repro.sim.chaos import ChaosSpec, parse_chaos
 from repro.sim.engine import run_march
 from repro.sim.placements import DEFAULT_MEMORY_SIZE
 from repro.sim.backends import backend_names, make_memory
+from repro.sim.supervisor import (
+    FailureReport,
+    SupervisedTask,
+    Supervisor,
+    SupervisorPolicy,
+)
 from repro.store import (
     QualificationStore,
     open_store,
@@ -262,6 +268,7 @@ class FaultDictionary:
         simulated_runs: int = 0,
         store_hits: int = 0,
         store_misses: int = 0,
+        failure_report: Optional[FailureReport] = None,
     ):
         self.test = test
         self.faults = list(faults)
@@ -275,6 +282,10 @@ class FaultDictionary:
         self.simulated_runs = simulated_runs
         self.store_hits = store_hits
         self.store_misses = store_misses
+        #: Recovery log of a supervised (``workers > 1`` or chaos)
+        #: build -- ``None`` on the plain serial path, never part of
+        #: :meth:`to_dict`.
+        self.failure_report = failure_report
         self._by_signature: Dict[Signature, List[DictionaryEntry]] = {}
         self._by_coordinates: Dict[
             Tuple[int, int], DictionaryEntry] = {}
@@ -364,6 +375,8 @@ def build_dictionary(
     backgrounds: Optional[BackgroundsSpec] = None,
     store: Union[QualificationStore, str, None] = None,
     workers: int = 1,
+    policy: Optional[SupervisorPolicy] = None,
+    chaos: Union[ChaosSpec, str, None] = None,
 ) -> FaultDictionary:
     """Build the fault dictionary of *test* over *faults*.
 
@@ -373,8 +386,14 @@ def build_dictionary(
     simulating, misses simulate and are recorded -- a repeated build
     against a warm store performs **zero** simulations and returns a
     byte-identical dictionary.  ``workers > 1`` fans the missing
-    faults out over a process pool (deterministic result either way,
-    mirroring the campaign engine's exactness guarantee).
+    faults out over a supervised process pool (deterministic result
+    either way, mirroring the campaign engine's exactness guarantee)
+    with the campaign's full recovery ladder: timeouts, retries, pool
+    respawn, per-fault store checkpoints and in-process degradation
+    (see :mod:`repro.sim.supervisor`).  *policy* tunes that ladder;
+    *chaos* (a :class:`repro.sim.chaos.ChaosSpec` or spec string)
+    injects deterministic worker failures for testing and forces the
+    supervised path even at ``workers=1``.
 
     Raises:
         ValueError: on an unknown backend or invalid word mode.
@@ -386,6 +405,8 @@ def build_dictionary(
     if workers < 1:
         raise ValueError("workers must be >= 1")
     width, resolved = normalize_word_mode(width, backgrounds)
+    if isinstance(chaos, str):
+        chaos = parse_chaos(chaos)
     # A store opened here from a bare path is ours to close (the WAL
     # checkpoints into the main file); a caller-provided store object
     # stays open for the caller's next build.
@@ -395,7 +416,7 @@ def build_dictionary(
     try:
         return _build_dictionary(
             test, faults, memory_size, exhaustive_limit, lf3_layout,
-            backend, width, resolved, store, workers)
+            backend, width, resolved, store, workers, policy, chaos)
     finally:
         if owns_store:
             store.close()
@@ -412,6 +433,8 @@ def _build_dictionary(
     resolved: Optional[Tuple[Background, ...]],
     store: Optional[QualificationStore],
     workers: int,
+    policy: Optional[SupervisorPolicy],
+    chaos: Optional[ChaosSpec],
 ) -> FaultDictionary:
     runs = signature_runs(test, resolved, exhaustive_limit)
     faults = list(faults)
@@ -435,24 +458,23 @@ def _build_dictionary(
             misses += 1
         pending.append((index, key))
     simulated = 0
-    if pending:
-        miss_faults = [faults[index] for index, _ in pending]
-        if workers == 1:
-            computed = [
-                fault_signatures(
-                    test, fault, memory_size, exhaustive_limit,
-                    lf3_layout, backend, width, resolved)
-                for fault in miss_faults
-            ]
-        else:
-            computed = _build_parallel(
-                test, miss_faults, memory_size, exhaustive_limit,
-                lf3_layout, backend, width, resolved, workers)
-        for (index, key), signatures in zip(pending, computed):
+    failure_report = None
+    if pending and workers == 1 and chaos is None:
+        # Serial path, recorded incrementally: an interrupted build
+        # leaves every finished fault's row in the store.
+        for index, key in pending:
+            signatures = fault_signatures(
+                test, faults[index], memory_size, exhaustive_limit,
+                lf3_layout, backend, width, resolved)
             per_fault[index] = signatures
             simulated += len(signatures) * len(runs)
             if store is not None:
                 store.put(key, encode_signatures(signatures))
+    elif pending:
+        failure_report, simulated = _build_supervised(
+            test, faults, pending, memory_size, exhaustive_limit,
+            lf3_layout, backend, width, resolved, store, workers,
+            policy, chaos, per_fault, len(runs))
     entries: List[DictionaryEntry] = []
     for index, fault in enumerate(faults):
         instances = _instances(
@@ -467,6 +489,7 @@ def _build_dictionary(
         simulated_runs=simulated,
         store_hits=hits,
         store_misses=misses,
+        failure_report=failure_report,
     )
 
 
@@ -482,29 +505,73 @@ def _instances(
     return word_instances(fault, memory_size, width, lf3_layout)
 
 
-def _build_parallel(
+def _build_supervised(
     test: MarchTest,
     faults: Sequence[TargetFault],
+    pending: Sequence[Tuple[int, Optional[str]]],
     memory_size: int,
     exhaustive_limit: int,
     lf3_layout: str,
     backend: str,
     width: int,
     backgrounds: Optional[Tuple[Background, ...]],
+    store: Optional[QualificationStore],
     workers: int,
-) -> List[List[Signature]]:
-    """Fan fault chunks out over a process pool, merge in order."""
-    size = auto_chunk_size(len(faults), workers)
-    chunks = list(chunked(faults, size))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [
-            pool.submit(
-                _signature_chunk, test, chunk, memory_size,
-                exhaustive_limit, lf3_layout, backend, width,
-                backgrounds)
-            for chunk in chunks
-        ]
-        results: List[List[Signature]] = []
-        for future in futures:
-            results.extend(future.result())
-    return results
+    policy: Optional[SupervisorPolicy],
+    chaos: Optional[ChaosSpec],
+    per_fault: Dict[int, List[Signature]],
+    run_count: int,
+) -> Tuple[FailureReport, int]:
+    """Fan fault chunks out under the supervisor, merge in order.
+
+    Fills *per_fault* in place and returns the recovery log and the
+    simulated-run count.  Completed chunks checkpoint their faults'
+    signature rows the moment they land (the rows are per fault
+    already, so chunk-level resume needs no extra keys), and
+    kernel-implicating failures degrade a chunk to the dense
+    reference backend -- signatures are backend-independent, so
+    degradation cannot change the dictionary.
+    """
+    size = auto_chunk_size(len(pending), workers)
+    chunks = list(chunked(list(pending), size))
+    tasks = []
+    for index, chunk in enumerate(chunks):
+        chunk_faults = [faults[position] for position, _ in chunk]
+        args = (test, chunk_faults, memory_size, exhaustive_limit,
+                lf3_layout, backend, width, backgrounds)
+        fallback = None
+        if backend != "dense":
+            fallback = args[:5] + ("dense",) + args[6:]
+        tasks.append(SupervisedTask(
+            label=(f"{test.name} signatures "
+                   f"chunk {index + 1}/{len(chunks)}"),
+            fn=_signature_chunk,
+            args=args,
+            fallback_args=fallback,
+            context=chunk,
+        ))
+
+    failure_report = FailureReport()
+
+    def checkpoint(task: SupervisedTask, result) -> None:
+        if store is None:
+            return
+        for (_, key), signatures in zip(task.context, result):
+            store.put(key, encode_signatures(signatures))
+            failure_report.chunk_checkpoints += 1
+
+    supervisor = Supervisor(
+        workers, policy, chaos=chaos, report=failure_report)
+    if store is not None and chaos is not None:
+        store.inject_lock_chaos(chaos.lock_plan())
+    try:
+        results = supervisor.run(tasks, on_complete=checkpoint)
+    finally:
+        if store is not None and chaos is not None:
+            store.inject_lock_chaos(None)
+    simulated = 0
+    for chunk, chunk_results in zip(chunks, results):
+        for (position, _), signatures in zip(chunk, chunk_results):
+            per_fault[position] = signatures
+            simulated += len(signatures) * run_count
+    return failure_report, simulated

@@ -19,13 +19,21 @@ Guarantees:
 The work unit shipped to a worker is one ``(job, fault-chunk)`` pair;
 chunking is by fault (:func:`repro.sim.batch.auto_chunk_size`) so a
 single huge list still spreads across the pool.
+
+Parallel execution is supervised (:mod:`repro.sim.supervisor`):
+chunks get wall-clock timeouts, bounded retries, pool respawn on
+worker crashes, incremental chunk-level store checkpoints, and a
+degradation ladder down to in-process serial execution -- with every
+recovery recorded in :attr:`CampaignResult.failure_report`.  The
+chaos harness (:mod:`repro.sim.chaos`, ``--chaos`` on the CLI)
+injects worker failures deterministically to prove recovered runs
+byte-identical to the undisturbed serial oracle.
 """
 
 from __future__ import annotations
 
 import json
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from time import perf_counter
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -44,8 +52,15 @@ from repro.sim.coverage import (
     qualify_outcomes,
     report_from_outcomes,
 )
+from repro.sim.chaos import ChaosSpec, parse_chaos
 from repro.sim.placements import DEFAULT_MEMORY_SIZE, LF3_LAYOUTS
 from repro.sim.backends import backend_names
+from repro.sim.supervisor import (
+    FailureReport,
+    SupervisedTask,
+    Supervisor,
+    SupervisorPolicy,
+)
 from repro.store import (
     QualificationStore,
     decode_outcomes,
@@ -141,6 +156,10 @@ class CampaignResult:
     #: The ``(index, count)`` shard this result covers (``None`` for a
     #: full, unsharded run).
     shard: Optional[Tuple[int, int]] = None
+    #: Recovery log of the supervised execution path (``None`` on the
+    #: plain serial path).  Timing/recovery bookkeeping only -- never
+    #: part of :meth:`report_dict`, so byte-identity is untouched.
+    failure_report: Optional[FailureReport] = None
 
     def __iter__(self):
         return iter(self.entries)
@@ -178,6 +197,9 @@ class CampaignResult:
             "store_hits": self.store_hits,
             "store_misses": self.store_misses,
             "shard": None if self.shard is None else list(self.shard),
+            "failure_report": (
+                None if self.failure_report is None
+                else self.failure_report.to_dict()),
             "entries": [entry.to_dict() for entry in self.entries],
         }
 
@@ -235,6 +257,13 @@ class CampaignResult:
             text += (
                 f"; store: {self.store_hits} hit(s), "
                 f"{self.store_misses} miss(es)")
+        if self.failure_report is not None:
+            if self.failure_report.chunk_hits:
+                text += (
+                    f"; {self.failure_report.chunk_hits} "
+                    f"chunk(s) resumed")
+            if self.failure_report:
+                text += f"; {self.failure_report.summary()}"
         return text
 
 
@@ -278,6 +307,18 @@ class CoverageCampaign:
             recorded, which is also how an interrupted campaign
             resumes: re-running the same campaign against the same
             store only simulates the missing cells.
+        timeout: per-chunk wall-clock budget in seconds for supervised
+            (pool) execution; a chunk past its budget is retried on a
+            fresh pool.  Ignored on the plain serial path.
+        policy: full :class:`repro.sim.supervisor.SupervisorPolicy`
+            (retry counts, backoff, degradation thresholds); *timeout*
+            overrides the policy's own when both are given.
+        chaos: deterministic fault injection -- a
+            :class:`repro.sim.chaos.ChaosSpec` or a spec string like
+            ``"crash=0.3,poison=0.2,seed=7"``.  Chaos forces the
+            supervised path even at ``workers=1`` so disturbances land
+            in worker processes; recovery keeps the report
+            byte-identical to the undisturbed run.
         shard: deterministic job partition ``(index, count)`` with
             1-based *index*: this run executes only the jobs whose
             position in :meth:`jobs` order is congruent to
@@ -305,6 +346,9 @@ class CoverageCampaign:
         backgrounds: Optional[BackgroundsSpec] = None,
         store: Union[QualificationStore, str, None] = None,
         shard: Optional[Tuple[int, int]] = None,
+        timeout: Optional[float] = None,
+        policy: Optional[SupervisorPolicy] = None,
+        chaos: Union[ChaosSpec, str, None] = None,
     ):
         if isinstance(tests, MarchTest):
             tests = [tests]
@@ -375,6 +419,14 @@ class CoverageCampaign:
                     f"got {index}/{count}")
             shard = (int(index), int(count))
         self.shard = shard
+        if policy is None:
+            policy = SupervisorPolicy(timeout=timeout)
+        elif timeout is not None:
+            policy = replace(policy, timeout=timeout)
+        self.policy = policy
+        if isinstance(chaos, str):
+            chaos = parse_chaos(chaos)
+        self.chaos = chaos
         #: Fault-list content ids, hashed once per campaign (not per
         #: job) when a store is attached.
         self._fault_keys: Dict[str, str] = (
@@ -431,20 +483,19 @@ class CoverageCampaign:
                 else:
                     pending.append((position, job, key))
                     misses += 1
-        miss_jobs = [job for _, job, _ in pending]
-        if self.workers == 1 or not miss_jobs:
-            computed = [self._qualify_serial(job) for job in miss_jobs]
+        failure_report: Optional[FailureReport] = None
+        if not pending:
+            pass
+        elif self.workers == 1 and self.chaos is None:
+            # Serial oracle path: record each job as it completes so
+            # an interrupted run leaves every finished job in the
+            # store (the CLI drains on KeyboardInterrupt).
+            for position, job, key in pending:
+                outcomes, contexts = self._qualify_serial(job)
+                reports[position] = self._record(
+                    job, key, outcomes, contexts)
         else:
-            computed = self._run_parallel(miss_jobs)
-        for (position, job, key), (outcomes, contexts) \
-                in zip(pending, computed):
-            faults = self.fault_lists[job.fault_list]
-            if self.store is not None:
-                self.store.put(key, encode_outcomes(
-                    outcomes, contexts, faults, job.memory_size,
-                    job.width, job.backgrounds, job.lf3_layout))
-            reports[position] = report_from_outcomes(
-                job.test.name, faults, outcomes, contexts)
+            failure_report = self._run_supervised(pending, reports)
         return CampaignResult(
             entries=[
                 CampaignEntry(job, reports[position])
@@ -455,6 +506,7 @@ class CoverageCampaign:
             store_hits=hits,
             store_misses=misses,
             shard=self.shard,
+            failure_report=failure_report,
         )
 
     # ------------------------------------------------------------------
@@ -491,39 +543,124 @@ class CoverageCampaign:
             job.backgrounds,
         )
 
-    def _run_parallel(
-        self, jobs: List[CampaignJob]
-    ) -> List[Tuple[List[QualifyOutcome], int]]:
-        """Fan fault chunks out over a process pool, merge in order."""
-        job_chunks: List[List[List[TargetFault]]] = []
-        for job in jobs:
+    def _record(
+        self,
+        job: CampaignJob,
+        key: Optional[str],
+        outcomes: List[QualifyOutcome],
+        contexts: int,
+    ) -> CoverageReport:
+        """Persist a completed job (when a store is attached) and
+        build its report."""
+        faults = self.fault_lists[job.fault_list]
+        if self.store is not None and key is not None:
+            self.store.put(key, encode_outcomes(
+                outcomes, contexts, faults, job.memory_size,
+                job.width, job.backgrounds, job.lf3_layout))
+        return report_from_outcomes(
+            job.test.name, faults, outcomes, contexts)
+
+    def _chunk_args(self, job: CampaignJob, chunk, backend: str):
+        return (job.test, chunk, job.memory_size,
+                self.exhaustive_limit, job.lf3_layout, backend,
+                job.width, job.backgrounds)
+
+    def _run_supervised(
+        self,
+        pending: List[Tuple[int, CampaignJob, Optional[str]]],
+        reports: Dict[int, CoverageReport],
+    ) -> FailureReport:
+        """Fan fault chunks out under the supervisor, merge in order.
+
+        Each ``(job, fault-chunk)`` pair becomes one supervised task
+        (qualify_outcomes is module-level in repro.sim.coverage, so
+        worker processes import it by qualified name).  When a store
+        is attached, every completed chunk is checkpointed under its
+        own content address the moment it lands -- a chunk of faults
+        is just a smaller fault list, so no schema is needed -- and a
+        re-run of an interrupted campaign resumes at chunk
+        granularity with zero re-simulation.  Kernel-implicating
+        failures degrade the chunk to the dense reference backend
+        (reports are byte-identical across backends, so degradation
+        cannot change the result).
+        """
+        failure_report = FailureReport()
+        tasks: List[SupervisedTask] = []
+        # Per pending job: chunk slots, each either ("hit", outcomes,
+        # contexts) served from a checkpoint or ("task", index) to be
+        # filled from the supervisor's result list.
+        slots: List[List[Tuple]] = []
+        for position, job, key in pending:
             faults = self.fault_lists[job.fault_list]
             size = self.chunk_size or auto_chunk_size(
                 len(faults), self.workers)
-            job_chunks.append(list(chunked(faults, size)))
-        # qualify_outcomes is the worker body: module-level in
-        # repro.sim.coverage, so worker processes import it by
-        # qualified name; chunk order is preserved so the parent can
-        # zip outcomes back against its own fault objects.
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            futures = [
-                [
-                    pool.submit(
-                        qualify_outcomes, job.test, chunk,
-                        job.memory_size, self.exhaustive_limit,
-                        job.lf3_layout, self.backend,
-                        job.width, job.backgrounds)
-                    for chunk in chunks
-                ]
-                for job, chunks in zip(jobs, job_chunks)
-            ]
-            results = []
-            for job_futures in futures:
-                outcomes: List[QualifyOutcome] = []
-                contexts = 0
-                for future in job_futures:
-                    chunk_outcomes, chunk_contexts = future.result()
-                    outcomes.extend(chunk_outcomes)
-                    contexts += chunk_contexts
-                results.append((outcomes, contexts))
-        return results
+            chunks = list(chunked(faults, size))
+            job_slots: List[Tuple] = []
+            for index, chunk in enumerate(chunks):
+                chunk_key = None
+                if self.store is not None:
+                    # A single-chunk job's chunk IS the job: its key
+                    # was already probed (and missed) above.
+                    if len(chunks) == 1:
+                        chunk_key = key
+                    else:
+                        chunk_key = qualification_key(
+                            job.test, chunk, job.memory_size,
+                            self.exhaustive_limit, job.lf3_layout,
+                            job.width, job.backgrounds)
+                        payload = self.store.get(chunk_key)
+                        if payload is not None:
+                            job_slots.append(("hit",) + decode_outcomes(
+                                payload, chunk, job.memory_size,
+                                job.width, job.backgrounds,
+                                job.lf3_layout))
+                            failure_report.chunk_hits += 1
+                            continue
+                label = (f"{job.describe()} "
+                         f"chunk {index + 1}/{len(chunks)}")
+                fallback = None
+                if self.backend != "dense":
+                    fallback = self._chunk_args(job, chunk, "dense")
+                job_slots.append(("task", len(tasks)))
+                tasks.append(SupervisedTask(
+                    label=label,
+                    fn=qualify_outcomes,
+                    args=self._chunk_args(job, chunk, self.backend),
+                    fallback_args=fallback,
+                    context=(chunk, chunk_key, job),
+                ))
+            slots.append(job_slots)
+
+        def checkpoint(task: SupervisedTask, result) -> None:
+            chunk, chunk_key, job = task.context
+            if self.store is None or chunk_key is None:
+                return
+            outcomes, contexts = result
+            self.store.put(chunk_key, encode_outcomes(
+                outcomes, contexts, chunk, job.memory_size,
+                job.width, job.backgrounds, job.lf3_layout))
+            failure_report.chunk_checkpoints += 1
+
+        supervisor = Supervisor(
+            self.workers, self.policy, chaos=self.chaos,
+            report=failure_report)
+        if self.store is not None and self.chaos is not None:
+            self.store.inject_lock_chaos(self.chaos.lock_plan())
+        try:
+            results = supervisor.run(tasks, on_complete=checkpoint)
+        finally:
+            if self.store is not None and self.chaos is not None:
+                self.store.inject_lock_chaos(None)
+        for (position, job, key), job_slots in zip(pending, slots):
+            outcomes: List[QualifyOutcome] = []
+            contexts = 0
+            for slot in job_slots:
+                if slot[0] == "hit":
+                    chunk_outcomes, chunk_contexts = slot[1], slot[2]
+                else:
+                    chunk_outcomes, chunk_contexts = results[slot[1]]
+                outcomes.extend(chunk_outcomes)
+                contexts += chunk_contexts
+            reports[position] = self._record(
+                job, key, outcomes, contexts)
+        return failure_report

@@ -1,0 +1,188 @@
+"""Deterministic chaos injection for supervised campaign runs.
+
+A :class:`ChaosSpec` describes, per failure mode, the probability that
+a work unit's *first* attempts are disturbed: worker crashes
+(``os._exit``), hangs past the supervisor timeout, slow chunks,
+poison-pill exceptions, and qualification-store lock contention.  All
+draws are seeded from ``(seed, label, attempt)`` with a stable string
+hash, so a spec plans the *same* disturbances on every run, in every
+process, on every platform -- which is what lets the chaos test
+matrix assert the recovered report byte-identical to the undisturbed
+serial oracle instead of merely "it didn't crash".
+
+Specs are spelled on the CLI as ``repro-march campaign --chaos
+"crash=0.3,poison=0.2,seed=7"``; see :func:`parse_chaos`.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+import zlib
+from dataclasses import dataclass, fields
+from typing import Callable, Optional
+
+#: Failure modes applied inside the worker body, in draw order.
+ACTIONS = ("crash", "hang", "slow", "poison")
+
+
+class ChaosPoison(RuntimeError):
+    """The injected poison-pill exception."""
+
+
+def _draw(seed: int, label: str, attempt: int) -> float:
+    """Uniform [0, 1) draw, identical across processes and platforms.
+
+    The built-in ``hash()`` is salted per process, so the label is
+    folded in with :func:`zlib.crc32` instead.
+    """
+    token = (seed << 32) ^ zlib.crc32(f"{label}|{attempt}".encode())
+    return random.Random(token).random()
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Seeded fault-injection plan for supervised work units.
+
+    Rates are independent probabilities; for each ``(label,
+    attempt)`` a single uniform draw walks crash -> hang -> slow ->
+    poison, so at most one action fires per attempt and the combined
+    disturbance rate is their sum (capped at 1).  ``lock`` is the
+    probability that a store write is served a synthetic ``database
+    is locked`` error (retried by the store's own backoff loop).
+    Only attempts ``< attempts`` are disturbed -- the default of 1
+    guarantees every work unit eventually succeeds, keeping the
+    byte-identity invariant testable.
+    """
+
+    seed: int = 0
+    crash: float = 0.0
+    hang: float = 0.0
+    slow: float = 0.0
+    poison: float = 0.0
+    lock: float = 0.0
+    attempts: int = 1
+    slow_seconds: float = 0.02
+    hang_seconds: float = 3600.0
+
+    def __post_init__(self):
+        for name in (*ACTIONS, "lock"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"chaos rate {name!r} must be in [0, 1], "
+                    f"got {rate}")
+        if self.attempts < 1:
+            raise ValueError("chaos attempts must be >= 1")
+        if self.slow_seconds < 0 or self.hang_seconds < 0:
+            raise ValueError("chaos durations must be >= 0")
+
+    def plan(self, label: str, attempt: int) -> Optional[str]:
+        """The action (or ``None``) for *label*'s *attempt*.
+
+        Pure function of ``(spec, label, attempt)`` -- planned in the
+        supervisor's parent process so the disturbance schedule does
+        not depend on worker scheduling.
+        """
+        if attempt >= self.attempts:
+            return None
+        draw = _draw(self.seed, label, attempt)
+        for action in ACTIONS:
+            rate = getattr(self, action)
+            if draw < rate:
+                return action
+            draw -= rate
+        return None
+
+    def lock_plan(self) -> Optional[Callable[[], bool]]:
+        """A store-write chaos hook, or ``None`` when ``lock == 0``.
+
+        The returned closure is called once per store write attempt
+        and returns True when that write should see a synthetic
+        ``database is locked``.  Each *operation* draws once (by
+        sequence number) and only its first attempt is disturbed --
+        a call right after a firing call is that operation's retry
+        and always passes -- so the store's retry loop converges
+        after at most one retry per write.
+        """
+        if self.lock <= 0:
+            return None
+        state = {"op": 0, "fired": False}
+
+        def fire() -> bool:
+            if state["fired"]:
+                state["fired"] = False
+                return False
+            operation = state["op"]
+            state["op"] += 1
+            hit = _draw(self.seed, f"lock#{operation}", 0) < self.lock
+            state["fired"] = hit
+            return hit
+
+        return fire
+
+
+def apply_chaos(
+    action: Optional[str],
+    slow_seconds: float,
+    hang_seconds: float,
+) -> None:
+    """Execute a planned action inside the worker body.
+
+    * ``crash``  -- kill the worker process outright (``os._exit``),
+      which breaks the whole pool exactly like a real segfault;
+    * ``hang``   -- sleep far past any sane timeout (the supervisor
+      kills the pool; without a timeout this stalls the run, which is
+      the documented consequence of hang chaos without ``timeout=``);
+    * ``slow``   -- sleep briefly, then do the work normally;
+    * ``poison`` -- raise :class:`ChaosPoison` before the work.
+    """
+    if action is None:
+        return
+    if action == "crash":
+        os._exit(86)
+    elif action == "hang":
+        time.sleep(hang_seconds)
+    elif action == "slow":
+        time.sleep(slow_seconds)
+    elif action == "poison":
+        raise ChaosPoison("injected poison-pill failure")
+    else:
+        raise ValueError(f"unknown chaos action {action!r}")
+
+
+_FIELDS = {field.name: field.type for field in fields(ChaosSpec)}
+_INT_FIELDS = {"seed", "attempts"}
+
+
+def parse_chaos(text: str) -> ChaosSpec:
+    """Parse a CLI chaos spec like ``"crash=0.3,poison=0.2,seed=7"``.
+
+    Keys are :class:`ChaosSpec` field names; values are floats
+    (rates, durations) or ints (``seed``, ``attempts``).  Raises a
+    one-line :class:`ValueError` naming the offending token.
+    """
+    values = {}
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        key, separator, raw = token.partition("=")
+        key = key.strip()
+        if not separator or key not in _FIELDS:
+            known = ", ".join(sorted(_FIELDS))
+            raise ValueError(
+                f"bad chaos token {token!r}: expected key=value with "
+                f"key one of {known}")
+        try:
+            values[key] = (int(raw) if key in _INT_FIELDS
+                           else float(raw))
+        except ValueError:
+            raise ValueError(
+                f"bad chaos value for {key!r}: {raw.strip()!r}"
+            ) from None
+    try:
+        return ChaosSpec(**values)
+    except ValueError as error:
+        raise ValueError(f"bad chaos spec {text!r}: {error}") from None

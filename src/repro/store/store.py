@@ -21,7 +21,8 @@ from __future__ import annotations
 import json
 import os
 import sqlite3
-from typing import Iterator, Optional, Tuple, Union
+import time
+from typing import Callable, Iterator, Optional, Tuple, Union
 
 from repro.store.keys import SCHEMA_VERSION, SEMANTICS_VERSION
 
@@ -34,6 +35,19 @@ CREATE TABLE IF NOT EXISTS qualifications (
     created_at TEXT NOT NULL DEFAULT (strftime('%Y-%m-%dT%H:%M:%SZ','now'))
 )
 """
+
+#: Write-retry schedule for transient contention ("database is
+#: locked" / "database is busy" from a concurrent writer): attempts
+#: beyond the first, first delay, doubling up to the cap.
+_RETRIES = 5
+_RETRY_BASE = 0.01
+_RETRY_CAP = 0.2
+
+
+def _transient(error: sqlite3.OperationalError) -> bool:
+    """Is this a contention error worth retrying (vs a real fault)?"""
+    message = str(error).lower()
+    return "locked" in message or "busy" in message
 
 
 class QualificationStore:
@@ -61,6 +75,11 @@ class QualificationStore:
         try:
             self._conn.execute("PRAGMA journal_mode=WAL")
             self._conn.execute("PRAGMA synchronous=NORMAL")
+            # First line of defense against concurrent writers:
+            # SQLite itself waits up to 5s for a lock before raising
+            # "database is locked"; _with_retry backs off and retries
+            # on top of that.
+            self._conn.execute("PRAGMA busy_timeout=5000")
             self._conn.execute(_TABLE_SQL)
             self._conn.commit()
         except sqlite3.DatabaseError as error:
@@ -80,6 +99,47 @@ class QualificationStore:
                 f"database: {error}") from None
         self.session_hits = 0
         self.session_misses = 0
+        #: Recovered transient write errors this session (real lock
+        #: contention and injected chaos both count).
+        self.session_write_retries = 0
+        self._lock_chaos: Optional[Callable[[], bool]] = None
+
+    def inject_lock_chaos(
+        self, plan: Optional[Callable[[], bool]]
+    ) -> None:
+        """Install (or clear) a lock-contention chaos hook.
+
+        *plan* is called once per write attempt; returning True makes
+        that attempt raise a synthetic ``database is locked``
+        *before* touching SQLite, exercising the very retry path real
+        contention takes.  See :meth:`repro.sim.chaos.ChaosSpec.lock_plan`.
+        """
+        self._lock_chaos = plan
+
+    def _with_retry(self, fn: Callable):
+        """Run a write transaction, retrying transient lock errors.
+
+        Concurrent shard workers sharing one database file surface as
+        ``sqlite3.OperationalError: database is locked`` even past the
+        busy timeout; since every write here is idempotent (content
+        addressing), retrying with capped backoff is always safe.
+        Non-transient errors and exhausted retries propagate.
+        """
+        for attempt in range(_RETRIES + 1):
+            try:
+                if (self._lock_chaos is not None
+                        and self._lock_chaos()):
+                    raise sqlite3.OperationalError(
+                        "database is locked (chaos injection)")
+                return fn()
+            except sqlite3.OperationalError as error:
+                if not _transient(error) or attempt >= _RETRIES:
+                    raise
+                # Drop the failed half-transaction before retrying.
+                self._conn.rollback()
+                self.session_write_retries += 1
+                time.sleep(min(_RETRY_BASE * (2 ** attempt),
+                               _RETRY_CAP))
 
     # ------------------------------------------------------------------
     # Core protocol
@@ -105,15 +165,19 @@ class QualificationStore:
 
         Idempotent: re-putting an existing key is a no-op (the payload
         is identical by content addressing), so concurrent shard
-        workers never fight over a row.
+        workers never fight over a row.  Transient lock contention is
+        retried with capped backoff (see :meth:`_with_retry`).
         """
-        self._conn.execute(
-            "INSERT OR IGNORE INTO qualifications "
-            "(key, schema_version, semantics_version, payload) "
-            "VALUES (?, ?, ?, ?)",
-            (key, SCHEMA_VERSION, SEMANTICS_VERSION,
-             json.dumps(payload, separators=(",", ":"))))
-        self._conn.commit()
+        def write():
+            self._conn.execute(
+                "INSERT OR IGNORE INTO qualifications "
+                "(key, schema_version, semantics_version, payload) "
+                "VALUES (?, ?, ?, ?)",
+                (key, SCHEMA_VERSION, SEMANTICS_VERSION,
+                 json.dumps(payload, separators=(",", ":"))))
+            self._conn.commit()
+
+        self._with_retry(write)
 
     def __contains__(self, key: str) -> bool:
         row = self._conn.execute(
@@ -138,13 +202,14 @@ class QualificationStore:
         """
         source = other if isinstance(other, QualificationStore) \
             else QualificationStore(other)
-        try:
+
+        def union() -> int:
             added = 0
             rows = source._conn.execute(
                 "SELECT key, schema_version, semantics_version, "
                 "payload, created_at FROM qualifications "
                 "WHERE schema_version = ? AND semantics_version = ?",
-                (SCHEMA_VERSION, SEMANTICS_VERSION))
+                (SCHEMA_VERSION, SEMANTICS_VERSION)).fetchall()
             for row in rows:
                 cursor = self._conn.execute(
                     "INSERT OR IGNORE INTO qualifications "
@@ -153,6 +218,22 @@ class QualificationStore:
                 added += cursor.rowcount
             self._conn.commit()
             return added
+
+        try:
+            # The whole union is one retry unit: a rollback discards
+            # the partial insert batch, so the recount after a
+            # transient lock error is exact (INSERT OR IGNORE makes
+            # any overlap idempotent anyway).
+            return self._with_retry(union)
+        except sqlite3.OperationalError as error:
+            if not _transient(error):
+                raise
+            # A source mid-write (e.g. a live shard holding the WAL
+            # write lock) keeps the merge locked out past every
+            # retry; report it in the store's one-line style.
+            raise ValueError(
+                f"cannot merge {source.path!r}: {error} "
+                f"(is a campaign still writing to it?)") from None
         finally:
             if source is not other:
                 source.close()
@@ -164,13 +245,16 @@ class QualificationStore:
         are never touched: content addressing means they cannot go
         stale except through a version bump.
         """
-        cursor = self._conn.execute(
-            "DELETE FROM qualifications "
-            "WHERE schema_version != ? OR semantics_version != ?",
-            (SCHEMA_VERSION, SEMANTICS_VERSION))
-        self._conn.commit()
-        self._conn.execute("VACUUM")
-        return cursor.rowcount
+        def reclaim() -> int:
+            cursor = self._conn.execute(
+                "DELETE FROM qualifications "
+                "WHERE schema_version != ? OR semantics_version != ?",
+                (SCHEMA_VERSION, SEMANTICS_VERSION))
+            self._conn.commit()
+            self._conn.execute("VACUUM")
+            return cursor.rowcount
+
+        return self._with_retry(reclaim)
 
     def stats(self) -> dict:
         """Row counts, version stamps and session counters."""
@@ -192,6 +276,7 @@ class QualificationStore:
             "semantics_version": SEMANTICS_VERSION,
             "session_hits": self.session_hits,
             "session_misses": self.session_misses,
+            "session_write_retries": self.session_write_retries,
         }
 
     def rows(self) -> Iterator[Tuple[str, int, str, dict, str]]:

@@ -130,3 +130,57 @@ def random_marches(draw):
         elements.append(MarchElement(
             draw(st.sampled_from(list(AddressOrder))), tuple(ops)))
     return MarchTest("random march", tuple(elements))
+
+
+# ---------------------------------------------------------------------------
+# Supervisor toy workers (module-level so worker processes can import
+# them by qualified name; cross-attempt state lives in marker files
+# because retries may land in different processes)
+# ---------------------------------------------------------------------------
+
+def toy_square(x):
+    return x * x
+
+
+def toy_sleep(x, seconds):
+    import time
+    time.sleep(seconds)
+    return x
+
+
+def toy_crash_until(x, marker_path, crashes):
+    """``os._exit`` the worker until *crashes* attempts have died."""
+    import os
+    with open(marker_path, "a") as handle:
+        handle.write("x")
+    if os.path.getsize(marker_path) <= crashes:
+        os._exit(1)
+    return x
+
+
+def toy_fail_until(x, marker_path, failures):
+    """Raise until *failures* attempts have failed, then succeed."""
+    import os
+    with open(marker_path, "a") as handle:
+        handle.write("x")
+    if os.path.getsize(marker_path) <= failures:
+        raise RuntimeError(f"transient failure #{x}")
+    return x
+
+
+def toy_hang_until(x, marker_path, hangs, seconds):
+    """Sleep *seconds* until *hangs* attempts have hung."""
+    import os
+    import time
+    with open(marker_path, "a") as handle:
+        handle.write("x")
+    if os.path.getsize(marker_path) <= hangs:
+        time.sleep(seconds)
+    return x
+
+
+def toy_require_flag(x, ok):
+    """Deterministic failure unless called with the fallback flag."""
+    if not ok:
+        raise RuntimeError("needs fallback arguments")
+    return x

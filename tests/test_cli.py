@@ -238,3 +238,97 @@ class TestErrorPaths:
              "--inject", "LF1:TFU->SF0", "--distinguish",
              "--max-suffix", "0"])
         assert "invalid distinguish run" in message
+
+
+class TestResilienceCli:
+    """--chaos / --timeout flags and graceful interrupt handling."""
+
+    def test_campaign_chaos_and_timeout_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["campaign", "--fault-lists", "2", "--workers", "2",
+             "--chaos", "crash=0.3,seed=7", "--timeout", "5"])
+        assert args.chaos == "crash=0.3,seed=7"
+        assert args.timeout == 5.0
+
+    def test_campaign_rejects_bad_chaos_spec(self):
+        message = _one_line_exit(
+            ["campaign", "--fault-lists", "2", "--chaos",
+             "explode=1"])
+        assert "invalid campaign" in message
+        assert "bad chaos token" in message
+
+    def test_campaign_rejects_bad_timeout(self):
+        message = _one_line_exit(
+            ["campaign", "--fault-lists", "2", "--timeout", "0"])
+        assert "invalid campaign" in message
+
+    def test_chaotic_campaign_report_is_byte_identical(
+            self, tmp_path, capsys):
+        clean = tmp_path / "clean.json"
+        disturbed = tmp_path / "disturbed.json"
+        base = ["campaign", "--tests", "March C-", "--fault-lists",
+                "2", "--sizes", "3"]
+        assert main(base + ["--report-json", str(clean)]) <= 1
+        assert main(
+            base + ["--workers", "2", "--report-json", str(disturbed),
+                    "--chaos", "crash=0.3,poison=0.3,seed=7"]) <= 1
+        out = capsys.readouterr().out
+        assert "recovery event" in out
+        assert clean.read_bytes() == disturbed.read_bytes()
+
+    def test_chaotic_dictionary_build_is_byte_identical(
+            self, tmp_path, capsys):
+        clean = tmp_path / "clean.json"
+        disturbed = tmp_path / "disturbed.json"
+        base = ["dictionary", "March C-", "--fault-list", "2"]
+        assert main(base + ["--json", str(clean)]) == 0
+        assert main(
+            base + ["--workers", "2", "--json", str(disturbed),
+                    "--chaos", "poison=0.3,seed=5"]) == 0
+        assert clean.read_bytes() == disturbed.read_bytes()
+
+    def test_dictionary_rejects_bad_chaos_spec(self):
+        message = _one_line_exit(
+            ["dictionary", "March C-", "--fault-list", "2",
+             "--chaos", "explode=1"])
+        assert "invalid dictionary build" in message
+        assert "bad chaos token" in message
+
+    def test_sigint_drains_checkpoints_and_prints_resume(
+            self, tmp_path):
+        """A real SIGINT against a live campaign subprocess must exit
+        130, leave the completed chunks in the store, and print the
+        exact resume command."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        import repro
+        from repro.store.store import QualificationStore
+
+        src = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH") else "")
+        store_path = tmp_path / "interrupted.sqlite"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "campaign",
+             "--fault-lists", "1", "--sizes", "4", "--workers", "2",
+             "--store", str(store_path)],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env)
+        time.sleep(3.0)  # let a few chunks complete and checkpoint
+        proc.send_signal(signal.SIGINT)
+        out, _ = proc.communicate(timeout=60)
+        assert proc.returncode == 130, out
+        assert "interrupted" in out
+        assert "--resume" in out
+        assert str(store_path) in out
+        # The drained checkpoints are durable and readable.
+        store = QualificationStore(store_path)
+        assert len(store) > 0
+        store.close()

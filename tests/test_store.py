@@ -573,3 +573,91 @@ def test_sqlite3_schema_is_single_table():
     ]
     assert tables == ["qualifications"]
     assert isinstance(store._conn, sqlite3.Connection)
+
+
+class TestStoreResilience:
+    """Transient-failure hardening: busy timeout, write retries with
+    capped backoff (exercised through the chaos lock seam, which
+    raises the exact ``database is locked`` error real contention
+    produces), and the one-line merge error for a locked-out source.
+    """
+
+    def test_busy_timeout_configured(self, tmp_path):
+        store = QualificationStore(tmp_path / "busy.sqlite")
+        assert store._conn.execute(
+            "PRAGMA busy_timeout").fetchone()[0] == 5000
+        store.close()
+
+    def test_put_retries_transient_locks(self):
+        store = QualificationStore()
+        fires = iter([True, True, False])
+        store.inject_lock_chaos(lambda: next(fires, False))
+        store.put("key-1", {"p": 1})
+        assert store.session_write_retries == 2
+        store.inject_lock_chaos(None)
+        assert store.get("key-1") == {"p": 1}
+
+    def test_put_gives_up_on_persistent_lock(self):
+        store = QualificationStore()
+        store.inject_lock_chaos(lambda: True)
+        with pytest.raises(sqlite3.OperationalError,
+                           match="database is locked"):
+            store.put("key-1", {"p": 1})
+        # Initial attempt + 5 retries, all recovered-then-failed.
+        assert store.session_write_retries == 5
+        store.inject_lock_chaos(None)
+        store.put("key-1", {"p": 1})  # seam cleared: write lands
+        assert store.get("key-1") == {"p": 1}
+
+    def test_non_transient_errors_are_not_retried(self):
+        store = QualificationStore()
+
+        def broken():
+            raise sqlite3.OperationalError("no such table: nope")
+
+        with pytest.raises(sqlite3.OperationalError,
+                           match="no such table"):
+            store._with_retry(broken)
+        assert store.session_write_retries == 0
+
+    def test_gc_retries_transient_locks(self, tmp_path):
+        store = QualificationStore(tmp_path / "gc.sqlite")
+        store.put("key-1", {"p": 1})
+        fires = iter([True, False])
+        store.inject_lock_chaos(lambda: next(fires, False))
+        assert store.gc() == 0
+        assert store.session_write_retries == 1
+        store.close()
+
+    def test_merge_locked_out_is_one_line_value_error(self, tmp_path):
+        source_path = tmp_path / "source.sqlite"
+        source = QualificationStore(source_path)
+        source.put("key-1", {"p": 1})
+        source.close()
+        target = QualificationStore(tmp_path / "target.sqlite")
+        target.inject_lock_chaos(lambda: True)
+        with pytest.raises(ValueError, match="cannot merge"):
+            target.merge(str(source_path))
+        target.inject_lock_chaos(None)
+        assert target.merge(str(source_path)) == 1
+        target.close()
+
+    def test_merge_retries_then_succeeds(self, tmp_path):
+        source = QualificationStore(tmp_path / "source.sqlite")
+        source.put("key-1", {"p": 1})
+        source.put("key-2", {"p": 2})
+        source.close()
+        target = QualificationStore()
+        fires = iter([True, False])
+        target.inject_lock_chaos(lambda: next(fires, False))
+        # The retry re-runs the whole union after a rollback, so the
+        # added count stays exact.
+        assert target.merge(str(tmp_path / "source.sqlite")) == 2
+        assert target.session_write_retries == 1
+
+    def test_stats_count_write_retries(self):
+        store = QualificationStore()
+        fires = iter([True, False])
+        store.inject_lock_chaos(lambda: next(fires, False))
+        store.put("key-1", {"p": 1})
+        assert store.stats()["session_write_retries"] == 1
