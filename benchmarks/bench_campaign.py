@@ -33,6 +33,15 @@ appended as ``store`` -- the warm run must be at least
 ``--min-store-speedup`` (default 10) times faster *and* its
 deterministic report must be byte-identical to the cold run's.
 
+With ``--fleet`` the script additionally runs the **fleet-diagnosis
+leg**: the demo fleet (``examples/fleet_demo.json`` unless
+``--fleet-spec``) diagnosed cold against a fresh store, then warm,
+then warm over a worker pool, appended as ``fleet`` -- the warm
+rebuild must perform zero simulations and beat the cold run by
+``--min-fleet-speedup`` (default 2), all three reports must be
+byte-identical, and every injected fault must resolve to an
+ambiguity class containing the true fault.
+
 Output files keep a bounded **history**: each run appends a compact
 timing record per benchmark key (workload, ``size=N``, ``width=W``,
 ``store``) and the per-key history is capped at the last
@@ -67,7 +76,11 @@ As a CI gate (``--gate``) the script fails when:
   run's in any byte (never acceptable), or the warm run is slower
   than ``--min-store-speedup`` × cold on **any** machine -- serving a
   hit is a key lookup plus JSON decode, so the win is algorithmic,
-  not hardware.
+  not hardware; or
+* (with ``--fleet``) the fleet reports diverge across cold/warm/
+  parallel runs, the warm rebuild simulates anything, an injected
+  fault escapes its ambiguity class, the fleet stops sharing
+  dictionaries, or the warm rebuild misses its speedup floor.
 
 Usage::
 
@@ -495,6 +508,79 @@ def run_dictionary_leg(
         store.close()
 
 
+DEFAULT_FLEET_SPEC = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "examples",
+    "fleet_demo.json")
+
+
+def run_fleet_leg(
+    min_fleet_speedup: float,
+    spec_path: Optional[str] = None,
+    store_path: Optional[str] = None,
+    workers: int = 4,
+) -> Dict[str, object]:
+    """Fleet-diagnosis benchmark: shared dictionaries + warm rebuild.
+
+    Diagnoses the demo fleet three times: cold against a fresh store,
+    warm against the now-populated store (must perform **zero**
+    simulations and be at least *min_fleet_speedup* x faster), and
+    warm again over *workers* pool workers.  All three deterministic
+    fleet reports must be byte-identical, every injected fault must
+    resolve to an ambiguity class containing the true fault, and the
+    fleet must exercise dictionary sharing (fewer distinct geometries
+    than instances -- otherwise the leg measures nothing fleet-y).
+    """
+    from time import perf_counter
+
+    from repro.cli import _fault_list
+    from repro.diagnosis import diagnose_fleet, load_fleet_spec
+    from repro.march.known import known_march
+
+    spec = load_fleet_spec(spec_path or DEFAULT_FLEET_SPEC)
+    test = known_march(spec.march or "March C-").test
+    faults = _fault_list(spec.fault_list or "2")
+    if store_path and os.path.exists(store_path):
+        os.remove(store_path)
+    store = QualificationStore(store_path or ":memory:")
+    try:
+        timings = {}
+        reports = {}
+        for leg, kwargs in (
+            ("cold", {}),
+            ("warm", {}),
+            ("parallel", {"workers": workers}),
+        ):
+            start = perf_counter()
+            reports[leg] = diagnose_fleet(
+                test, faults, spec, store=store, **kwargs)
+            timings[leg] = perf_counter() - start
+        jsons = {leg: report.report_json()
+                 for leg, report in reports.items()}
+        speedup = (timings["cold"] / timings["warm"]
+                   if timings["warm"] > 0 else float("inf"))
+        cold = reports["cold"]
+        return {
+            "fleet": spec.name,
+            "test": test.name,
+            "instances": len(spec.instances),
+            "failing_instances": len(spec.failing_instances),
+            "distinct_geometries": len(cold.geometry_reports),
+            "store_rows": len(store),
+            "min_fleet_speedup": min_fleet_speedup,
+            "workers": workers,
+            "wall_seconds": timings,
+            "identical": (jsons["cold"] == jsons["warm"]
+                          == jsons["parallel"]),
+            "all_diagnosed": cold.all_diagnosed,
+            "fleet_resolution": cold.fleet_resolution,
+            "cold_simulated_runs": cold.simulated_runs,
+            "warm_simulated_runs": reports["warm"].simulated_runs,
+            "speedup": speedup,
+        }
+    finally:
+        store.close()
+
+
 def _bare_pool_run(workload: Dict[str, object], workers: int):
     """One bare-pool campaign pass: (entry dicts, wall seconds).
 
@@ -645,6 +731,17 @@ def _history_records(payload: Dict[str, object]) -> Dict[str, dict]:
                 "speedup": entry["speedup"],
                 "backend_identical": entry["backend_identical"],
                 "store_identical": entry["store_identical"],
+            }
+        fleet_leg = payload.get("fleet")
+        if fleet_leg:
+            records[f"fleet {fleet_leg['fleet']}"] = {
+                "cold_wall_seconds":
+                    fleet_leg["wall_seconds"]["cold"],
+                "warm_wall_seconds":
+                    fleet_leg["wall_seconds"]["warm"],
+                "speedup": fleet_leg["speedup"],
+                "identical": fleet_leg["identical"],
+                "all_diagnosed": fleet_leg["all_diagnosed"],
             }
     else:  # sparse-sweep payload
         for entry in payload.get("entries", ()):
@@ -806,6 +903,35 @@ def gate(payload: Dict[str, object]) -> List[str]:
                     f"warm dictionary rebuild fails the speedup "
                     f"gate for {cell}: {entry['speedup']:.1f}x < "
                     f"{minimum:.1f}x")
+    fleet_leg = payload.get("fleet")
+    if fleet_leg:
+        name = fleet_leg["fleet"]
+        if not fleet_leg["identical"]:
+            failures.append(
+                f"fleet reports DIVERGE across cold/warm/parallel "
+                f"runs for {name} -- the fleet report must be "
+                f"byte-identical regardless of store state and "
+                f"worker count")
+        if not fleet_leg["all_diagnosed"]:
+            failures.append(
+                f"fleet {name}: an injected fault did not resolve "
+                f"to an ambiguity class containing the true fault")
+        if fleet_leg["warm_simulated_runs"]:
+            failures.append(
+                f"warm fleet rebuild for {name} still simulated "
+                f"{fleet_leg['warm_simulated_runs']} run(s) -- the "
+                f"shared store must serve every signature row")
+        if fleet_leg["distinct_geometries"] >= fleet_leg["instances"]:
+            failures.append(
+                f"fleet {name} has no geometry sharing "
+                f"({fleet_leg['distinct_geometries']} dictionaries "
+                f"for {fleet_leg['instances']} instances) -- the "
+                f"leg no longer exercises dictionary reuse")
+        if fleet_leg["speedup"] < fleet_leg["min_fleet_speedup"]:
+            failures.append(
+                f"warm fleet rebuild fails the speedup gate for "
+                f"{name}: {fleet_leg['speedup']:.1f}x < "
+                f"{fleet_leg['min_fleet_speedup']:.1f}x")
     return failures
 
 
@@ -903,6 +1029,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="required warm-vs-cold speedup for the "
                              "dictionary leg (applies on any "
                              "machine)")
+    parser.add_argument("--fleet", action="store_true",
+                        help="also run the fleet-diagnosis leg: "
+                             "cold vs warm vs parallel diagnosis of "
+                             "the demo fleet (warm must simulate "
+                             "nothing, all three reports "
+                             "byte-identical), appended to the main "
+                             "report as 'fleet'")
+    parser.add_argument("--fleet-spec", metavar="PATH",
+                        help="fleet spec file for the fleet leg "
+                             "(default: examples/fleet_demo.json)")
+    parser.add_argument("--fleet-store-path", metavar="PATH",
+                        help="back the fleet leg with this SQLite "
+                             "file (default: in-memory)")
+    parser.add_argument("--min-fleet-speedup", type=float,
+                        default=2.0,
+                        help="required warm-vs-cold speedup for the "
+                             "fleet leg (applies on any machine)")
     parser.add_argument("--chaos-overhead", action="store_true",
                         help="also run the supervisor-overhead leg: "
                              "a clean supervised campaign vs the "
@@ -945,6 +1088,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         payload["dictionary"] = run_dictionary_leg(
             args.min_dictionary_speedup,
             store_path=args.dictionary_store_path)
+    if args.fleet:
+        payload["fleet"] = run_fleet_leg(
+            args.min_fleet_speedup,
+            spec_path=args.fleet_spec,
+            store_path=args.fleet_store_path)
     write_with_history(args.out, payload, args.history_cap)
 
     print(f"workload={payload['workload']} jobs={payload['jobs']} "
@@ -1021,6 +1169,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   f"identical={entry['backend_identical']}/"
                   f"{entry['store_identical']} "
                   f"warm_sims={entry['warm_simulated_runs']}")
+    if args.fleet:
+        leg = payload["fleet"]
+        walls = leg["wall_seconds"]
+        print(f"fleet diagnosis leg ({leg['fleet']}: "
+              f"{leg['instances']} instances, "
+              f"{leg['failing_instances']} failing, "
+              f"{leg['distinct_geometries']} geometries):")
+        print(f"  cold={walls['cold']:.2f}s "
+              f"warm={walls['warm']:.3f}s "
+              f"parallel(w={leg['workers']})={walls['parallel']:.3f}s "
+              f"speedup={leg['speedup']:.1f}x "
+              f"identical={leg['identical']} "
+              f"all_diagnosed={leg['all_diagnosed']} "
+              f"warm_sims={leg['warm_simulated_runs']}")
     print(f"report written to {args.out}")
 
     sparse_payload = None

@@ -58,9 +58,13 @@ from repro.sim import (
 from repro.diagnosis import (
     DistinguishingGenerator,
     FaultDictionary,
+    FleetReport,
+    FleetSpec,
     ambiguity_report,
+    build_dictionaries,
     build_dictionary,
     diagnose,
+    diagnose_fleet,
 )
 from repro.store import QualificationStore, qualification_key
 
@@ -95,9 +99,13 @@ __all__ = [
     "CampaignResult",
     "run_march",
     "FaultDictionary",
+    "FleetReport",
+    "FleetSpec",
+    "build_dictionaries",
     "build_dictionary",
     "ambiguity_report",
     "diagnose",
+    "diagnose_fleet",
     "DistinguishingGenerator",
     "QualificationStore",
     "qualification_key",

@@ -14,6 +14,7 @@ Installed as ``repro-march``::
     repro-march store merge out.sqlite shard1.sqlite shard2.sqlite
     repro-march dictionary "March C-" --fault-list 2 --ambiguity
     repro-march diagnose "March C-" --inject "LF1:TFU->SF0" --distinguish
+    repro-march fleet fleet.json --store q.sqlite --workers 4
     repro-march table1                # reproduce the paper's Table 1
     repro-march figure --which g0     # DOT source of Figure 2 / 4
 """
@@ -511,6 +512,94 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.diagnosis import diagnose_fleet, load_fleet_spec
+
+    try:
+        spec = load_fleet_spec(args.spec)
+    except OSError as error:
+        raise SystemExit(f"cannot read fleet spec: {error}")
+    except ValueError as error:
+        raise SystemExit(str(error))
+    march = args.test or spec.march
+    if march is None:
+        raise SystemExit(
+            "no march test selected: pass --test or set 'march' in "
+            "the fleet spec")
+    test = _resolve_test(march)
+    faults = _fault_list(args.fault_list or spec.fault_list or "2")
+    if args.resume:
+        if not args.store:
+            raise SystemExit("--resume requires --store PATH")
+        if not os.path.exists(args.store):
+            raise SystemExit(
+                f"--resume: store {args.store!r} does not exist (an "
+                f"interrupted run would have left one behind)")
+    store = _open_optional_store(args.store)
+    policy = None
+    if args.timeout is not None:
+        from repro.sim.supervisor import SupervisorPolicy
+        policy = SupervisorPolicy(timeout=args.timeout)
+    try:
+        report = diagnose_fleet(
+            test, faults, spec,
+            backend=args.backend,
+            store=store,
+            workers=args.workers,
+            policy=policy,
+            chaos=args.chaos,
+        )
+    except ValueError as error:
+        if store is not None:
+            store.close()
+        raise SystemExit(f"invalid fleet run: {error}")
+    except KeyboardInterrupt:
+        # Finished signature rows were checkpointed per fault; close
+        # the store (WAL checkpoint) and hand back the exact resume
+        # command, mirroring the campaign interrupt path.
+        print()
+        if store is not None:
+            store.close()
+            print(f"interrupted: completed signature rows are "
+                  f"checkpointed in {args.store!r}")
+            print(f"resume with: {_resume_command(args)}")
+        else:
+            print("interrupted: no --store attached, progress was "
+                  "not persisted")
+        return 130
+    except CampaignExecutionError as error:
+        if store is not None:
+            store.close()
+        raise SystemExit(str(error))
+    print(report.render())
+    if args.verbose:
+        for row in report.report_dict()["geometries"]:
+            backgrounds = row["backgrounds"]
+            word = "" if backgrounds is None else (
+                f" x{row['width']} [{', '.join(backgrounds)}]")
+            print(f"  geometry size {row['memory_size']}{word} "
+                  f"({row['lf3_layout']}): "
+                  f"{len(row['instances'])} instance(s), "
+                  f"{row['classes']} class(es), "
+                  f"resolution {row['resolution']:.3f}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            import json as json_module
+            handle.write(
+                json_module.dumps(report.to_dict(), indent=2) + "\n")
+        print(f"fleet report written to {args.json}")
+    if args.report_json:
+        with open(args.report_json, "w") as handle:
+            handle.write(report.report_json() + "\n")
+        print(f"deterministic fleet report written to "
+              f"{args.report_json}")
+    if store is not None:
+        store.close()  # checkpoint WAL into the main file
+    return 0 if report.all_diagnosed else 1
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     rows = build_table1(fault_list_1(), fault_list_2())
     print(render_table1(rows))
@@ -907,6 +996,68 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-suffix", type=int, default=8, metavar="N",
         help="bound on distinguishing-suffix elements (default 8)")
     diagnose.set_defaults(func=_cmd_diagnose)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="diagnose a fleet of heterogeneous memory instances "
+             "under one shared march schedule",
+        description=(
+            "Load a fleet spec (JSON, or TOML on Python >= 3.11) "
+            "declaring many memory instances of mixed sizes, widths "
+            "and lf3 layouts, build the distinct per-geometry fault "
+            "dictionaries in one batched, store-backed, "
+            "chunk-resumable pass, and resolve every failing "
+            "instance's signature to its ambiguity class.  The "
+            "deterministic report (--report-json) is byte-identical "
+            "across worker counts, backends and cold/warm stores; "
+            "exit status 0 means every failing instance resolved to "
+            "a class containing its injected fault."))
+    fleet.add_argument(
+        "spec",
+        help="fleet spec path; see examples/fleet_demo.json and "
+             "DESIGN_fleet.md for the format")
+    fleet.add_argument(
+        "--test", metavar="MARCH",
+        help='march test: a known name ("March C-") or notation; '
+             "default: the spec's 'march' entry")
+    fleet.add_argument(
+        "--fault-list", metavar="LIST",
+        help="fault list label (default: the spec's 'fault_list' "
+             "entry, then '2')")
+    fleet.add_argument(
+        "--store", metavar="PATH",
+        help="content-addressed qualification store: signature rows "
+             "are shared across geometries and runs, so a warm fleet "
+             "rerun performs zero simulations")
+    fleet.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="processes for the dictionary builds (default 1; the "
+             "fleet report is identical for any worker count)")
+    fleet.add_argument(
+        "--timeout", type=float, metavar="SECONDS",
+        help="wall-clock budget per signature chunk; hung workers "
+             "are killed and their chunks retried")
+    fleet.add_argument(
+        "--chaos", metavar="SPEC",
+        help="inject deterministic worker faults while building "
+             "(same spec syntax as campaign --chaos); the fleet "
+             "report must come out byte-identical regardless")
+    fleet.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted fleet run: requires --store and "
+             "re-simulates only the signature rows missing from it")
+    fleet.add_argument(
+        "--json", metavar="PATH",
+        help="write the full fleet report (including session "
+             "counters) as JSON")
+    fleet.add_argument(
+        "--report-json", metavar="PATH",
+        help="write the deterministic fleet report as JSON -- "
+             "byte-identical across worker counts, backends and "
+             "store states")
+    _add_backend_argument(fleet)
+    fleet.add_argument("--verbose", action="store_true")
+    fleet.set_defaults(func=_cmd_fleet)
 
     store = sub.add_parser(
         "store",

@@ -36,9 +36,20 @@ from repro.diagnosis.ambiguity import (
 from repro.diagnosis.dictionary import (
     DictionaryEntry,
     FaultDictionary,
+    Geometry,
+    build_dictionaries,
     build_dictionary,
     parse_signature,
     signature_str,
+)
+from repro.diagnosis.fleet import (
+    FleetInstance,
+    FleetReport,
+    FleetSpec,
+    InstanceDiagnosis,
+    diagnose_fleet,
+    load_fleet_spec,
+    parse_fleet_spec,
 )
 from repro.diagnosis.distinguish import (
     DistinguishResult,
@@ -54,9 +65,18 @@ __all__ = [
     "diagnose",
     "DictionaryEntry",
     "FaultDictionary",
+    "Geometry",
+    "build_dictionaries",
     "build_dictionary",
     "parse_signature",
     "signature_str",
+    "FleetInstance",
+    "FleetReport",
+    "FleetSpec",
+    "InstanceDiagnosis",
+    "diagnose_fleet",
+    "load_fleet_spec",
+    "parse_fleet_spec",
     "DistinguishResult",
     "DistinguishStep",
     "DistinguishingGenerator",

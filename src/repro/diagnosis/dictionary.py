@@ -68,6 +68,15 @@ Site = Optional[Tuple[int, int, int]]
 #: A detection signature: one :data:`Site` per canonical run.
 Signature = Tuple[Site, ...]
 
+#: One memory geometry a dictionary is built for:
+#: ``(memory_size, width, backgrounds, lf3_layout)``.  *backgrounds*
+#: is the raw :data:`~repro.faults.backgrounds.BackgroundsSpec` seam
+#: (``None`` = bit path); geometries are normalized through
+#: :func:`repro.sim.coverage.normalize_word_mode` before
+#: deduplication, so two spellings of the same word mode share one
+#: build.
+Geometry = Tuple[int, int, Optional[BackgroundsSpec], str]
+
 
 def signature_str(signature: Signature) -> str:
     """Compact textual form: runs joined by ``;``, escapes as ``-``.
@@ -398,15 +407,75 @@ def build_dictionary(
     Raises:
         ValueError: on an unknown backend or invalid word mode.
     """
+    return build_dictionaries(
+        test, faults,
+        [(memory_size, width, backgrounds, lf3_layout)],
+        exhaustive_limit=exhaustive_limit,
+        backend=backend,
+        store=store,
+        workers=workers,
+        policy=policy,
+        chaos=chaos,
+    )[0]
+
+
+def build_dictionaries(
+    test: MarchTest,
+    faults: Sequence[TargetFault],
+    geometries: Sequence[Geometry],
+    *,
+    exhaustive_limit: int = 6,
+    backend: str = "auto",
+    store: Union[QualificationStore, str, None] = None,
+    workers: int = 1,
+    policy: Optional[SupervisorPolicy] = None,
+    chaos: Union[ChaosSpec, str, None] = None,
+) -> List[FaultDictionary]:
+    """Build one fault dictionary per :data:`Geometry`, as one batch.
+
+    The fleet workhorse: every geometry's signature rows are
+    prefetched from *store* in one bulk query
+    (:meth:`repro.store.QualificationStore.get_many`) and all missing
+    ``(geometry, fault)`` rows share one supervised fan-out, so twenty
+    heterogeneous memories cost one pool spin-up and one recovery
+    ladder instead of twenty.  Duplicate geometries (after word-mode
+    normalization) are built once and returned per input position.
+    Each returned dictionary is byte-identical to a separate
+    :func:`build_dictionary` call with the same parameters -- the
+    batching only changes where the simulations are scheduled, never
+    their results.
+
+    Raises:
+        ValueError: on an unknown backend, an invalid word mode, or
+            an empty geometry list.
+    """
     if backend not in backend_names():
         raise ValueError(
             f"unknown simulation backend {backend!r}; "
             f"choose from {backend_names()}")
     if workers < 1:
         raise ValueError("workers must be >= 1")
-    width, resolved = normalize_word_mode(width, backgrounds)
+    if not geometries:
+        raise ValueError("geometries must not be empty")
     if isinstance(chaos, str):
         chaos = parse_chaos(chaos)
+    normalized: List[
+        Tuple[int, int, Optional[Tuple[Background, ...]], str]] = []
+    for memory_size, width, backgrounds, lf3_layout in geometries:
+        norm_width, resolved = normalize_word_mode(width, backgrounds)
+        normalized.append(
+            (memory_size, norm_width, resolved, lf3_layout))
+    unique: List[
+        Tuple[int, int, Optional[Tuple[Background, ...]], str]] = []
+    index_of: Dict[
+        Tuple[int, int, Optional[Tuple[Background, ...]], str],
+        int] = {}
+    mapping: List[int] = []
+    for geometry in normalized:
+        if geometry not in index_of:
+            index_of[geometry] = len(unique)
+            unique.append(geometry)
+        mapping.append(index_of[geometry])
     # A store opened here from a bare path is ours to close (the WAL
     # checkpoints into the main file); a caller-provided store object
     # stays open for the caller's next build.
@@ -414,83 +483,105 @@ def build_dictionary(
         and not isinstance(store, QualificationStore)
     store = open_store(store)
     try:
-        return _build_dictionary(
-            test, faults, memory_size, exhaustive_limit, lf3_layout,
-            backend, width, resolved, store, workers, policy, chaos)
+        built = _build_dictionaries(
+            test, list(faults), unique, exhaustive_limit, backend,
+            store, workers, policy, chaos)
     finally:
         if owns_store:
             store.close()
+    return [built[position] for position in mapping]
 
 
-def _build_dictionary(
+def _build_dictionaries(
     test: MarchTest,
-    faults: Sequence[TargetFault],
-    memory_size: int,
+    faults: List[TargetFault],
+    geometries: Sequence[
+        Tuple[int, int, Optional[Tuple[Background, ...]], str]],
     exhaustive_limit: int,
-    lf3_layout: str,
     backend: str,
-    width: int,
-    resolved: Optional[Tuple[Background, ...]],
     store: Optional[QualificationStore],
     workers: int,
     policy: Optional[SupervisorPolicy],
     chaos: Optional[ChaosSpec],
-) -> FaultDictionary:
-    runs = signature_runs(test, resolved, exhaustive_limit)
-    faults = list(faults)
-    per_fault: Dict[int, List[Signature]] = {}
-    pending: List[Tuple[int, Optional[str]]] = []
-    hits = misses = 0
-    for index, fault in enumerate(faults):
-        key = None
-        if store is not None:
-            key = signature_key(
+) -> List[FaultDictionary]:
+    run_counts = [
+        len(signature_runs(test, resolved, exhaustive_limit))
+        for _, _, resolved, _ in geometries]
+    per_geometry: List[Dict[int, List[Signature]]] = [
+        {} for _ in geometries]
+    hits = [0] * len(geometries)
+    misses = [0] * len(geometries)
+    pending: List[Tuple[int, int, Optional[str]]] = []
+    if store is not None:
+        keys = [
+            [signature_key(
                 test, fault, memory_size, exhaustive_limit,
                 lf3_layout, width, resolved)
-            payload = store.get(key)
-            if payload is not None:
+             for fault in faults]
+            for memory_size, width, resolved, lf3_layout in geometries]
+        payloads = store.get_many(
+            [key for geometry_keys in keys for key in geometry_keys])
+        for position, geometry in enumerate(geometries):
+            memory_size, width, resolved, lf3_layout = geometry
+            for index, fault in enumerate(faults):
+                payload = payloads.get(keys[position][index])
+                if payload is None:
+                    misses[position] += 1
+                    pending.append(
+                        (position, index, keys[position][index]))
+                    continue
                 instances = _instances(
                     fault, memory_size, width, resolved, lf3_layout)
-                per_fault[index] = decode_signatures(
-                    payload, len(instances), len(runs))
-                hits += 1
-                continue
-            misses += 1
-        pending.append((index, key))
-    simulated = 0
+                per_geometry[position][index] = decode_signatures(
+                    payload, len(instances), run_counts[position])
+                hits[position] += 1
+    else:
+        pending = [
+            (position, index, None)
+            for position in range(len(geometries))
+            for index in range(len(faults))]
+    simulated = [0] * len(geometries)
     failure_report = None
     if pending and workers == 1 and chaos is None:
         # Serial path, recorded incrementally: an interrupted build
         # leaves every finished fault's row in the store.
-        for index, key in pending:
+        for position, index, key in pending:
+            memory_size, width, resolved, lf3_layout = \
+                geometries[position]
             signatures = fault_signatures(
                 test, faults[index], memory_size, exhaustive_limit,
                 lf3_layout, backend, width, resolved)
-            per_fault[index] = signatures
-            simulated += len(signatures) * len(runs)
+            per_geometry[position][index] = signatures
+            simulated[position] += \
+                len(signatures) * run_counts[position]
             if store is not None:
                 store.put(key, encode_signatures(signatures))
     elif pending:
-        failure_report, simulated = _build_supervised(
-            test, faults, pending, memory_size, exhaustive_limit,
-            lf3_layout, backend, width, resolved, store, workers,
-            policy, chaos, per_fault, len(runs))
-    entries: List[DictionaryEntry] = []
-    for index, fault in enumerate(faults):
-        instances = _instances(
-            fault, memory_size, width, resolved, lf3_layout)
-        for instance_index, (instance, signature) in enumerate(
-                zip(instances, per_fault[index])):
-            entries.append(DictionaryEntry(
-                index, instance_index, fault, instance, signature))
-    return FaultDictionary(
-        test, faults, memory_size, exhaustive_limit, lf3_layout,
-        width, resolved, entries,
-        simulated_runs=simulated,
-        store_hits=hits,
-        store_misses=misses,
-        failure_report=failure_report,
-    )
+        failure_report = _build_supervised(
+            test, faults, pending, geometries, exhaustive_limit,
+            backend, store, workers, policy, chaos, per_geometry,
+            run_counts, simulated)
+    dictionaries: List[FaultDictionary] = []
+    for position, geometry in enumerate(geometries):
+        memory_size, width, resolved, lf3_layout = geometry
+        entries: List[DictionaryEntry] = []
+        for index, fault in enumerate(faults):
+            instances = _instances(
+                fault, memory_size, width, resolved, lf3_layout)
+            for instance_index, (instance, signature) in enumerate(
+                    zip(instances, per_geometry[position][index])):
+                entries.append(DictionaryEntry(
+                    index, instance_index, fault, instance,
+                    signature))
+        dictionaries.append(FaultDictionary(
+            test, faults, memory_size, exhaustive_limit, lf3_layout,
+            width, resolved, entries,
+            simulated_runs=simulated[position],
+            store_hits=hits[position],
+            store_misses=misses[position],
+            failure_report=failure_report,
+        ))
+    return dictionaries
 
 
 def _instances(
@@ -508,55 +599,70 @@ def _instances(
 def _build_supervised(
     test: MarchTest,
     faults: Sequence[TargetFault],
-    pending: Sequence[Tuple[int, Optional[str]]],
-    memory_size: int,
+    pending: Sequence[Tuple[int, int, Optional[str]]],
+    geometries: Sequence[
+        Tuple[int, int, Optional[Tuple[Background, ...]], str]],
     exhaustive_limit: int,
-    lf3_layout: str,
     backend: str,
-    width: int,
-    backgrounds: Optional[Tuple[Background, ...]],
     store: Optional[QualificationStore],
     workers: int,
     policy: Optional[SupervisorPolicy],
     chaos: Optional[ChaosSpec],
-    per_fault: Dict[int, List[Signature]],
-    run_count: int,
-) -> Tuple[FailureReport, int]:
+    per_geometry: List[Dict[int, List[Signature]]],
+    run_counts: Sequence[int],
+    simulated: List[int],
+) -> FailureReport:
     """Fan fault chunks out under the supervisor, merge in order.
 
-    Fills *per_fault* in place and returns the recovery log and the
-    simulated-run count.  Completed chunks checkpoint their faults'
+    Fills *per_geometry* and *simulated* in place and returns the
+    recovery log.  A chunk never spans geometries (its worker args fix
+    one geometry), but every geometry's chunks run under the same
+    supervisor and pool.  Completed chunks checkpoint their faults'
     signature rows the moment they land (the rows are per fault
     already, so chunk-level resume needs no extra keys), and
     kernel-implicating failures degrade a chunk to the dense
     reference backend -- signatures are backend-independent, so
     degradation cannot change the dictionary.
     """
-    size = auto_chunk_size(len(pending), workers)
-    chunks = list(chunked(list(pending), size))
+    by_geometry: Dict[
+        int, List[Tuple[int, Optional[str]]]] = {}
+    for position, index, key in pending:
+        by_geometry.setdefault(position, []).append((index, key))
+    multi = len(geometries) > 1
     tasks = []
-    for index, chunk in enumerate(chunks):
-        chunk_faults = [faults[position] for position, _ in chunk]
-        args = (test, chunk_faults, memory_size, exhaustive_limit,
-                lf3_layout, backend, width, backgrounds)
-        fallback = None
-        if backend != "dense":
-            fallback = args[:5] + ("dense",) + args[6:]
-        tasks.append(SupervisedTask(
-            label=(f"{test.name} signatures "
-                   f"chunk {index + 1}/{len(chunks)}"),
-            fn=_signature_chunk,
-            args=args,
-            fallback_args=fallback,
-            context=chunk,
-        ))
+    for position in sorted(by_geometry):
+        geometry_pending = by_geometry[position]
+        memory_size, width, resolved, lf3_layout = \
+            geometries[position]
+        size = auto_chunk_size(len(geometry_pending), workers)
+        chunks = list(chunked(geometry_pending, size))
+        # Single-geometry labels match the historical format so resume
+        # logs stay greppable; fleet builds tag the geometry position.
+        prefix = (f"{test.name} g{position} signatures" if multi
+                  else f"{test.name} signatures")
+        for index, chunk in enumerate(chunks):
+            chunk_faults = [faults[fi] for fi, _ in chunk]
+            args = (test, chunk_faults, memory_size,
+                    exhaustive_limit, lf3_layout, backend, width,
+                    resolved)
+            fallback = None
+            if backend != "dense":
+                fallback = args[:5] + ("dense",) + args[6:]
+            tasks.append(SupervisedTask(
+                label=f"{prefix} chunk {index + 1}/{len(chunks)}",
+                fn=_signature_chunk,
+                args=args,
+                fallback_args=fallback,
+                context=(position, chunk),
+            ))
 
     failure_report = FailureReport()
 
     def checkpoint(task: SupervisedTask, result) -> None:
         if store is None:
             return
-        for (_, key), signatures in zip(task.context, result):
+        _, chunk = task.context
+        for (_, key), signatures in zip(chunk, result):
             store.put(key, encode_signatures(signatures))
             failure_report.chunk_checkpoints += 1
 
@@ -569,9 +675,10 @@ def _build_supervised(
     finally:
         if store is not None and chaos is not None:
             store.inject_lock_chaos(None)
-    simulated = 0
-    for chunk, chunk_results in zip(chunks, results):
-        for (position, _), signatures in zip(chunk, chunk_results):
-            per_fault[position] = signatures
-            simulated += len(signatures) * run_count
-    return failure_report, simulated
+    for task, chunk_results in zip(tasks, results):
+        position, chunk = task.context
+        for (index, _), signatures in zip(chunk, chunk_results):
+            per_geometry[position][index] = signatures
+            simulated[position] += \
+                len(signatures) * run_counts[position]
+    return failure_report

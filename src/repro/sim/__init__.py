@@ -32,11 +32,7 @@ from repro.sim.backends import (
     register_backend,
     resolve_backend,
 )
-from repro.sim.sparse import (
-    BACKENDS,
-    SparseMemory,
-    sparse_supported,
-)
+from repro.sim.sparse import SparseMemory
 from repro.sim.engine import (
     DetectionSite,
     run_march,
@@ -79,3 +75,16 @@ __all__ = [
     "CampaignResult",
     "CoverageCampaign",
 ]
+
+
+def __getattr__(name: str):
+    # The deprecated string-dispatch shims are forwarded lazily so
+    # importing this package stays warning-free; touching them routes
+    # through :mod:`repro.sim.sparse`, whose shims emit the
+    # DeprecationWarning and name the registry replacement.
+    if name in ("BACKENDS", "sparse_supported"):
+        from repro.sim import sparse
+
+        return getattr(sparse, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

@@ -125,6 +125,13 @@ class Backend:
             every-cell walk -- metadata for tooling and docs.
         auto_priority: position in ``"auto"`` resolution (higher wins;
             ``None`` = never auto-selected, explicit opt-in only).
+        auto_min_placements: smallest workload placement-context
+            count for which ``"auto"`` may pick this backend; callers
+            that know the workload pass the hint to
+            :func:`resolve_backend` (``None`` = no floor).  Batched
+            kernels amortize per-element work across packed
+            placements, so below the floor their packing overhead
+            loses to the plain sparse walk.
         description: one-line summary for ``--backend`` help text.
     """
 
@@ -136,6 +143,7 @@ class Backend:
     sparse_snapshot: bool = False
     element_kernel: Optional[str] = None
     auto_priority: Optional[int] = None
+    auto_min_placements: Optional[int] = None
     description: str = ""
 
 
@@ -152,6 +160,7 @@ def register_backend(
     sparse_snapshot: bool = False,
     element_kernel: Optional[str] = None,
     auto_priority: Optional[int] = None,
+    auto_min_placements: Optional[int] = None,
     description: str = "",
 ) -> Backend:
     """Register a simulation backend under *name*.
@@ -173,7 +182,9 @@ def register_backend(
         name=name, make_memory=make_memory, supports=supports,
         batch_granularity=batch_granularity, make_batch=make_batch,
         sparse_snapshot=sparse_snapshot, element_kernel=element_kernel,
-        auto_priority=auto_priority, description=description)
+        auto_priority=auto_priority,
+        auto_min_placements=auto_min_placements,
+        description=description)
     _REGISTRY[name] = backend
     return backend
 
@@ -198,6 +209,7 @@ def resolve_backend(
     faults: Sequence[object] = (),
     memory_size: Optional[int] = None,
     width: Optional[int] = None,
+    placements: Optional[int] = None,
 ) -> str:
     """Resolve a backend selector to a concrete registry name.
 
@@ -208,12 +220,21 @@ def resolve_backend(
         memory_size: the simulated memory size (cells, or words in
             word mode), when known.
         width: bits per word in word mode, ``None`` on the bit path.
+        placements: total placement-context count of the workload,
+            when known (the coverage oracles pass the number of
+            simulation contexts they seed: placements summed over the
+            fault list, times the background count in word mode).
+            Gates backends that declare an ``auto_min_placements``
+            floor: lane packing only wins once the workload fills at
+            least one full 64-lane word, so below the floor (or with
+            no hint at all) ``"auto"`` skips the batched kernel.
 
     ``"auto"`` walks the backends that declare an ``auto_priority``
-    (highest first) and picks the first whose ``supports`` predicate
-    accepts the workload; backends registered without a priority (the
-    bit-parallel kernel) are explicit opt-in only.  Explicit names are
-    honoured unconditionally, exactly like the old string dispatch.
+    (highest first) and picks the first that passes its placement
+    floor (if any) and whose ``supports`` predicate accepts the
+    workload; backends registered without a priority are explicit
+    opt-in only.  Explicit names are honoured unconditionally,
+    exactly like the old string dispatch.
 
     Raises:
         ValueError: for an unknown selector.
@@ -225,6 +246,10 @@ def resolve_backend(
          if entry.auto_priority is not None),
         key=lambda entry: -entry.auto_priority)
     for entry in candidates:
+        if entry.auto_min_placements is not None and (
+                placements is None
+                or placements < entry.auto_min_placements):
+            continue
         if entry.supports(faults, memory_size, width):
             return entry.name
     raise ValueError(
@@ -325,7 +350,12 @@ register_backend(
     make_batch=_bitpar_make_batch,
     sparse_snapshot=True,
     element_kernel="element_kernel",
-    auto_priority=None,  # explicit opt-in; auto behaviour is unchanged
+    # Outranks sparse, but only for workloads whose placement-context
+    # hint fills at least one full lane word
+    # (repro.sim.bitpar.MAX_LANES); callers without a placement count
+    # still resolve to sparse.
+    auto_priority=20,
+    auto_min_placements=64,
     description=(
         "pack up to 64 placements of one fault into integer bit-lanes "
         "and simulate each march element once per packed word"),

@@ -290,7 +290,6 @@ class CoverageOracle:
         self.memory_size = memory_size
         self.exhaustive_limit = exhaustive_limit
         self.lf3_layout = lf3_layout
-        self.backend = resolve_backend(backend, self.faults, memory_size)
         self.width, self.backgrounds = normalize_word_mode(
             width, backgrounds)
         self.store = open_store(store)
@@ -311,6 +310,13 @@ class CoverageOracle:
                     f, memory_size, self.width, lf3_layout))
                 for f in self.faults
             }
+        self.backend = resolve_backend(
+            backend, self.faults, memory_size,
+            None if self.backgrounds is None else self.width,
+            placements=sum(
+                len(group) for group in self._instances.values())
+            * (1 if self.backgrounds is None
+               else len(self.backgrounds)))
 
     def instances_of(self, fault: TargetFault) -> List[FaultInstance]:
         """The bound placements qualifying *fault*."""
@@ -517,10 +523,29 @@ class IncrementalCoverage:
         self.memory_size = memory_size
         self.exhaustive_limit = exhaustive_limit
         self.lf3_layout = lf3_layout
-        self.backend = resolve_backend(backend, self.faults, memory_size)
-        self._backend_obj = get_backend(self.backend)
         self.width, self.backgrounds = normalize_word_mode(
             width, backgrounds)
+        # Placements are enumerated before backend resolution so
+        # "auto" sees how many simulation contexts the workload seeds
+        # -- the hint that decides whether a batched (lane-packed)
+        # kernel amortizes its packing overhead.  Both enumerations
+        # are memoized, so the seeding loops below pay nothing extra.
+        if self.backgrounds is None:
+            instance_lists = [
+                cached_instances(fault, memory_size, lf3_layout)
+                for fault in self.faults]
+        else:
+            instance_lists = [
+                word_instances(
+                    fault, memory_size, self.width, lf3_layout)
+                for fault in self.faults]
+        self.backend = resolve_backend(
+            backend, self.faults, memory_size,
+            None if self.backgrounds is None else self.width,
+            placements=sum(len(group) for group in instance_lists)
+            * (1 if self.backgrounds is None
+               else len(self.backgrounds)))
+        self._backend_obj = get_backend(self.backend)
         #: Fault-granularity backends advance whole groups of pending
         #: placement contexts per element through this
         #: :class:`~repro.sim.backends.PlacementBatch` instead of being
@@ -559,11 +584,10 @@ class IncrementalCoverage:
         #: :meth:`MarchGenerator._record_prefix`).
         self.committed_contexts = 0
         if self.backgrounds is not None:
-            self._init_word_contexts()
+            self._init_word_contexts(instance_lists)
             return
         dense_blank = pack_word((DONT_CARE,) * memory_size)
-        for index, fault in enumerate(self.faults):
-            instances = cached_instances(fault, memory_size, lf3_layout)
+        for index, instances in enumerate(instance_lists):
             contexts = []
             for instance in instances:
                 if self._backend_obj.sparse_snapshot:
@@ -574,7 +598,7 @@ class IncrementalCoverage:
             self._pending.extend(contexts)
             self._pending_by_fault[index] = contexts
 
-    def _init_word_contexts(self) -> None:
+    def _init_word_contexts(self, instance_lists) -> None:
         """Seed word-mode contexts: instances x data backgrounds.
 
         ``memory_size`` counts words; placements cover both inter-word
@@ -584,9 +608,7 @@ class IncrementalCoverage:
         """
         dense_blank = word_blank_snapshot(
             None, self.memory_size, self.width, "dense")
-        for index, fault in enumerate(self.faults):
-            instances = word_instances(
-                fault, self.memory_size, self.width, self.lf3_layout)
+        for index, instances in enumerate(instance_lists):
             contexts = []
             for instance in instances:
                 if self._backend_obj.sparse_snapshot:

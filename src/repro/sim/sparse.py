@@ -70,16 +70,37 @@ from repro.sim.batch import cached_segment_walks, register_cache
 # Deprecated backend-dispatch shims
 # ----------------------------------------------------------------------
 # Backend selection moved to the first-class registry in
-# :mod:`repro.sim.backends`.  The names below survive one release for
-# backward compatibility; all in-repo callers go through the registry.
+# :mod:`repro.sim.backends`.  The names below survive strictly for
+# out-of-repo callers and are removed in the release after next: they
+# now warn on every use, and the hygiene suite
+# (``tests/test_fleet.py::TestShimHygiene``) fails the build if any
+# in-repo module touches them.  ``BACKENDS`` is served through the
+# module ``__getattr__`` below so even a bare attribute access warns.
 
-#: Deprecated: use :func:`repro.sim.backends.backend_names`.  Snapshot
-#: of the selectors registered at import time.
-BACKENDS: Tuple[str, ...] = _backends.backend_names()
+def _warn_shim(name: str, replacement: str) -> None:
+    import warnings
+
+    warnings.warn(
+        f"repro.sim.sparse.{name} is deprecated since the backend "
+        f"registry replaced the string dispatch; use "
+        f"repro.sim.backends.{replacement} instead.  The shim will "
+        f"be removed in the release after next.",
+        DeprecationWarning, stacklevel=3)
+
+
+def __getattr__(name: str):
+    # PEP 562: BACKENDS is no longer a module constant, so reading it
+    # emits the same DeprecationWarning the callable shims do.
+    if name == "BACKENDS":
+        _warn_shim("BACKENDS", "backend_names()")
+        return _backends.backend_names()
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
 
 
 def sparse_supported(fault: object) -> bool:
     """Deprecated: use :func:`repro.sim.backends.kernel_supported`."""
+    _warn_shim("sparse_supported", "kernel_supported")
     return kernel_supported(fault)
 
 
@@ -89,6 +110,7 @@ def resolve_backend(
     memory_size: Optional[int] = None,
 ) -> str:
     """Deprecated: use :func:`repro.sim.backends.resolve_backend`."""
+    _warn_shim("resolve_backend", "resolve_backend")
     return _backends.resolve_backend(backend, faults, memory_size)
 
 
@@ -98,6 +120,7 @@ def make_memory(
     backend: str = "auto",
 ) -> FaultyMemory:
     """Deprecated: use :func:`repro.sim.backends.make_memory`."""
+    _warn_shim("make_memory", "make_memory")
     return _backends.make_memory(memory_size, fault, backend)
 
 

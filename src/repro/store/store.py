@@ -22,7 +22,15 @@ import json
 import os
 import sqlite3
 import time
-from typing import Callable, Iterator, Optional, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.store.keys import SCHEMA_VERSION, SEMANTICS_VERSION
 
@@ -159,6 +167,32 @@ class QualificationStore:
             return None
         self.session_hits += 1
         return json.loads(row[0])
+
+    def get_many(self, keys: Sequence[str]) -> Dict[str, dict]:
+        """Bulk :meth:`get`: payloads for every present key.
+
+        One ``SELECT ... IN`` round-trip per 999 keys (the SQLite
+        bound-parameter ceiling) instead of one per key -- the
+        difference between O(faults x geometries) queries and a
+        handful when a fleet build prefetches its dictionary rows.
+        Version filtering and the session hit/miss counters behave
+        exactly as per-key :meth:`get` calls would: absent keys are
+        simply missing from the result and counted as misses.
+        """
+        found: Dict[str, dict] = {}
+        distinct = list(dict.fromkeys(keys))
+        for start in range(0, len(distinct), 999):
+            chunk = distinct[start:start + 999]
+            marks = ",".join("?" * len(chunk))
+            for key, payload in self._conn.execute(
+                    f"SELECT key, payload FROM qualifications "
+                    f"WHERE key IN ({marks}) "
+                    f"AND schema_version = ? AND semantics_version = ?",
+                    (*chunk, SCHEMA_VERSION, SEMANTICS_VERSION)):
+                found[key] = json.loads(payload)
+        self.session_hits += len(found)
+        self.session_misses += len(distinct) - len(found)
+        return found
 
     def put(self, key: str, payload: dict) -> None:
         """Store *payload* under *key*, stamped with current versions.

@@ -296,12 +296,48 @@ class TestRegistry:
         assert entry.sparse_snapshot
         assert entry.make_batch is not None
 
-    def test_auto_never_picks_bitpar(self):
-        # Opt-in only: auto behaviour is unchanged by the new backend.
+    def test_auto_without_hint_never_picks_bitpar(self):
+        # Callers that cannot estimate their placement-context count
+        # (single-fault construction, make_memory) must stay on the
+        # scalar kernels: one fault cannot fill a lane word.
         faults = fault_list_2()
         for size in SIZES:
             assert backends.resolve_backend("auto", faults, size) in (
                 "sparse", "dense")
+
+    def test_auto_hint_crossover_is_one_lane_word(self):
+        # The auto floor is exactly MAX_LANES: a workload whose total
+        # seeded placement contexts fill at least one 64-lane word
+        # amortizes the packing, anything smaller stays sparse.
+        faults = fault_list_2()
+        entry = backends.get_backend("bitpar")
+        assert entry.auto_min_placements == MAX_LANES
+        assert backends.resolve_backend(
+            "auto", faults, 8, placements=MAX_LANES) == "bitpar"
+        assert backends.resolve_backend(
+            "auto", faults, 8, placements=MAX_LANES - 1) == "sparse"
+        assert backends.resolve_backend(
+            "auto", faults, 8, placements=None) == "sparse"
+        # The floor never overrides capability: below the sparse size
+        # threshold the dense walk still wins.
+        assert backends.resolve_backend(
+            "auto", faults, 3, placements=MAX_LANES) == "dense"
+
+    def test_auto_oracle_picks_bitpar_for_large_workloads(self):
+        # FL#1 at size 8 seeds hundreds of placement contexts -- the
+        # oracle's own hint must route it to bitpar, and byte-identity
+        # with the dense reference must hold through that choice.
+        from repro.sim.coverage import CoverageOracle, IncrementalCoverage
+
+        fl1 = fault_list_1()
+        oracle = CoverageOracle(fl1, memory_size=8)
+        assert oracle.backend == "bitpar"
+        incremental = IncrementalCoverage(fl1, memory_size=8)
+        assert incremental.backend == "bitpar"
+        # FL#2 seeds ~48 contexts at any size: under one lane word,
+        # so auto keeps the sparse kernel there.
+        assert CoverageOracle(
+            fault_list_2(), memory_size=64).backend == "sparse"
 
     def test_explicit_resolution_and_errors(self):
         assert backends.resolve_backend("bitpar") == "bitpar"
@@ -334,14 +370,20 @@ class TestRegistry:
         assert "bitpar" in alternative_backends()
         assert "dense" not in alternative_backends()
 
-    def test_deprecated_shims_delegate(self):
+    def test_deprecated_shims_delegate_and_warn(self):
         from repro.sim import sparse
 
-        assert set(sparse.BACKENDS) == set(backends.backend_names())
-        assert sparse.resolve_backend("bitpar") == "bitpar"
-        assert sparse.sparse_supported(None)
-        assert isinstance(
-            sparse.make_memory(8, None, "sparse"), SparseMemory)
+        with pytest.warns(DeprecationWarning, match="BACKENDS"):
+            names = sparse.BACKENDS
+        assert set(names) == set(backends.backend_names())
+        with pytest.warns(DeprecationWarning, match="resolve_backend"):
+            assert sparse.resolve_backend("bitpar") == "bitpar"
+        with pytest.warns(DeprecationWarning,
+                          match="sparse_supported"):
+            assert sparse.sparse_supported(None)
+        with pytest.warns(DeprecationWarning, match="make_memory"):
+            assert isinstance(
+                sparse.make_memory(8, None, "sparse"), SparseMemory)
 
     def test_report_key_spot_check(self):
         # Belt-and-braces: one direct three-way comparison outside the

@@ -33,14 +33,13 @@ from repro.march.test import parse_march
 from repro.memory.sram import FaultyMemory, partition_primitives
 from repro.sim.coverage import make_instances, qualify_test
 from repro.sim.engine import detects_instance, escape_sites, run_march
-from repro.sim.sparse import (
-    BACKENDS,
-    SparseMemory,
-    blank_snapshot,
+from repro.sim.backends import (
+    backend_names,
+    kernel_supported as sparse_supported,
     make_memory,
     resolve_backend,
-    sparse_supported,
 )
+from repro.sim.sparse import SparseMemory, blank_snapshot
 
 #: The acceptance matrix of the sparse-kernel issue.
 SIZES = (3, 5, 16, 64)
@@ -199,7 +198,7 @@ class TestSparseMemory:
             resolve_backend("gpu")
         assert sparse_supported(None)
         assert not sparse_supported("address decoder fault")
-        assert "auto" in BACKENDS
+        assert "auto" in backend_names()
 
     def test_auto_size_heuristic(self):
         # Below the crossover the bound cells cover the whole array;
