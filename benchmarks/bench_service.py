@@ -1,0 +1,325 @@
+#!/usr/bin/env python3
+"""Qualification-service benchmark and regression gate.
+
+Starts the HTTP job API (:func:`repro.service.server.start_service`)
+on an ephemeral port, then drives it with a small fleet of client
+threads submitting a mixed load: ``--unique`` distinct campaign jobs,
+each submitted ``--duplicates`` times concurrently.  The run measures
+
+* **submit latency** -- wall time of each ``POST /jobs`` round trip
+  (the spec is validated and content-addressed inline, so this is the
+  service's interactive surface), reported as p50/p99/max;
+* **coalescing** -- the duplicate submissions must all collapse onto
+  the first record's execution: ``jobs_executed == unique`` and the
+  coalescing ratio (observed coalesced submissions / expected
+  duplicates) must be exactly 1.0;
+* **identity** -- every job's ``GET /jobs/{id}/result`` bytes must
+  equal the local :class:`repro.service.jobs.JobRunner` output for
+  the same spec (which PR 9's tests pin byte-identical to the CLI
+  artifacts).
+
+Writes ``BENCH_service.json`` (``--out``) with the current run's
+payload plus a bounded per-key **history** (same rotation scheme as
+``bench_campaign.py``; capped at ``--history-cap`` records).
+
+As a CI gate (``--gate``) the script fails when:
+
+* any result diverges from the local runner's bytes (never
+  acceptable, on any machine), or
+* the coalescing ratio is not 1.0 or any duplicate triggered a second
+  execution -- request coalescing is correctness, not tuning, or
+* any job failed or was rejected, or
+* submit p99 exceeds ``--max-p99-ms`` (default 500 ms -- generous
+  because CI machines are noisy; the point is catching accidental
+  simulation work on the submit path, which costs seconds).
+
+Usage::
+
+    python benchmarks/bench_service.py --gate --out BENCH_service.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.service import JobRunner, JobSpec, ServiceClient
+from repro.service.server import start_service
+
+
+def _jobs(unique: int) -> List[dict]:
+    """The distinct job documents of the workload.
+
+    Small campaigns (24 single-cell LFs) over distinct memory sizes:
+    cheap enough that the benchmark is dominated by the service
+    plumbing under test, distinct enough that nothing coalesces
+    across them.
+    """
+    return [
+        {"kind": "campaign", "tests": ["March SL"],
+         "fault_lists": ["lf1"], "sizes": [3 + index]}
+        for index in range(unique)
+    ]
+
+
+def _percentile(samples: Sequence[float], fraction: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1,
+                max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def run_benchmark(
+    unique: int,
+    duplicates: int,
+    clients: int,
+    store_path: Optional[str],
+) -> Dict[str, object]:
+    """Drive the service; return the gate-ready payload."""
+    documents = _jobs(unique)
+    submissions = [
+        dict(document)
+        for document in documents
+        for _ in range(duplicates)
+    ]
+    handle = start_service(
+        port=0, store_path=store_path, job_workers=2,
+        rate=10_000.0, burst=10_000)
+    try:
+        latencies: List[float] = []
+        responses: List[dict] = []
+        errors: List[str] = []
+        lock = threading.Lock()
+        start_barrier = threading.Barrier(clients)
+        wall_start = time.perf_counter()
+
+        def drive(worker: int) -> None:
+            client = ServiceClient(
+                handle.url, client_id=f"bench-{worker}")
+            start_barrier.wait()
+            for index in range(worker, len(submissions), clients):
+                begin = time.perf_counter()
+                try:
+                    response = client.submit(submissions[index])
+                except Exception as error:  # noqa: BLE001
+                    with lock:
+                        errors.append(
+                            f"{type(error).__name__}: {error}")
+                    continue
+                elapsed = time.perf_counter() - begin
+                with lock:
+                    latencies.append(elapsed)
+                    responses.append(response)
+
+        threads = [
+            threading.Thread(target=drive, args=(worker,))
+            for worker in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        poller = ServiceClient(handle.url, client_id="bench-poll")
+        job_ids = sorted({response["id"] for response in responses})
+        finals = {job_id: poller.wait(job_id, timeout=600)
+                  for job_id in job_ids}
+        wall_seconds = time.perf_counter() - wall_start
+
+        identical = True
+        for document in documents:
+            spec = JobSpec.from_dict(document)
+            served = poller.result_bytes(spec.job_id)
+            local = JobRunner().run(spec).report_bytes
+            identical = identical and served == local
+
+        metrics = handle.service.metrics()
+    finally:
+        handle.stop()
+
+    expected_duplicates = unique * (duplicates - 1)
+    ratio = (metrics["jobs_coalesced"] / expected_duplicates
+             if expected_duplicates else 1.0)
+    return {
+        "unique_jobs": unique,
+        "duplicates_per_job": duplicates,
+        "clients": clients,
+        "submissions": len(submissions),
+        "wall_seconds": wall_seconds,
+        "submit_latency_ms": {
+            "p50": _percentile(latencies, 0.50) * 1000.0,
+            "p99": _percentile(latencies, 0.99) * 1000.0,
+            "max": max(latencies, default=0.0) * 1000.0,
+            "samples": len(latencies),
+        },
+        "coalescing_ratio": ratio,
+        "jobs_executed": metrics["jobs_executed"],
+        "jobs_failed": metrics["jobs_failed"],
+        "failed_statuses": sorted(
+            status["status"] for status in finals.values()
+            if status["status"] != "done"),
+        "submit_errors": errors,
+        "identical": identical,
+        "metrics": metrics,
+    }
+
+
+def gate(payload: Dict[str, object], max_p99_ms: float) -> List[str]:
+    """Regression-gate verdict: failure messages (empty = pass)."""
+    failures = []
+    if not payload["identical"]:
+        failures.append(
+            "service results DIVERGE from the local JobRunner's "
+            "bytes -- the HTTP surface is not byte-identical to the "
+            "CLI")
+    if payload["coalescing_ratio"] != 1.0:
+        failures.append(
+            f"coalescing ratio {payload['coalescing_ratio']:.3f} != "
+            f"1.0 -- duplicate submissions are not collapsing onto "
+            f"one execution")
+    if payload["jobs_executed"] != payload["unique_jobs"]:
+        failures.append(
+            f"{payload['jobs_executed']} executions for "
+            f"{payload['unique_jobs']} unique job(s) -- a duplicate "
+            f"slipped past request coalescing")
+    if payload["jobs_failed"] or payload["failed_statuses"]:
+        failures.append(
+            f"{payload['jobs_failed']} job(s) failed "
+            f"({payload['failed_statuses']})")
+    if payload["submit_errors"]:
+        failures.append(
+            f"{len(payload['submit_errors'])} submission(s) "
+            f"errored: {payload['submit_errors'][:3]}")
+    p99 = payload["submit_latency_ms"]["p99"]
+    if p99 > max_p99_ms:
+        failures.append(
+            f"submit p99 {p99:.1f} ms exceeds the {max_p99_ms:.0f} "
+            f"ms gate -- the submit path must stay "
+            f"validation+hashing, never simulation")
+    return failures
+
+
+def _history_record(payload: Dict[str, object]) -> dict:
+    return {
+        "wall_seconds": payload["wall_seconds"],
+        "submit_p50_ms": payload["submit_latency_ms"]["p50"],
+        "submit_p99_ms": payload["submit_latency_ms"]["p99"],
+        "coalescing_ratio": payload["coalescing_ratio"],
+        "identical": payload["identical"],
+    }
+
+
+def write_with_history(
+    path: str, payload: Dict[str, object], cap: int
+) -> None:
+    """Write *payload* to *path*, rotating a bounded history.
+
+    Same scheme as ``bench_campaign.py``: the previous file's
+    ``history`` map is carried forward, this run's compact record is
+    appended per key, each key keeps its last *cap* records.
+    """
+    history: Dict[str, List[dict]] = {}
+    try:
+        with open(path) as handle:
+            previous = json.load(handle)
+        if isinstance(previous, dict):
+            candidate = previous.get("history", {})
+            if isinstance(candidate, dict):
+                history = {
+                    key: list(entries)
+                    for key, entries in candidate.items()
+                    if isinstance(entries, list)
+                }
+    except (OSError, ValueError):
+        pass
+    key = (f"service unique={payload['unique_jobs']} "
+           f"dup={payload['duplicates_per_job']} "
+           f"clients={payload['clients']}")
+    history.setdefault(key, []).append(_history_record(payload))
+    history[key] = history[key][-cap:]
+    payload = dict(payload)
+    payload["history"] = history
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.split("\n")[0])
+    parser.add_argument("--unique", type=int, default=4,
+                        help="distinct jobs in the workload "
+                             "(default 4)")
+    parser.add_argument("--duplicates", type=int, default=4,
+                        help="submissions per distinct job "
+                             "(default 4; the extras must coalesce)")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="concurrent client threads (default 4)")
+    parser.add_argument("--store-path", metavar="PATH",
+                        help="back the service with this SQLite "
+                             "store (default: a temporary file)")
+    parser.add_argument("--out", default="BENCH_service.json",
+                        help="output JSON path")
+    parser.add_argument("--gate", action="store_true",
+                        help="exit non-zero on divergence, missed "
+                             "coalescing or latency regression")
+    parser.add_argument("--max-p99-ms", type=float, default=500.0,
+                        help="submit-latency p99 ceiling for the "
+                             "gate (default 500 ms)")
+    parser.add_argument("--history-cap", type=int, default=20,
+                        help="history records kept per benchmark key")
+    args = parser.parse_args(argv)
+
+    if args.duplicates < 2:
+        raise SystemExit("--duplicates must be >= 2 (the benchmark "
+                         "exists to observe coalescing)")
+
+    store_path = args.store_path
+    scratch = None
+    if store_path is None:
+        scratch = tempfile.TemporaryDirectory(prefix="bench-service-")
+        store_path = os.path.join(scratch.name, "q.sqlite")
+    try:
+        payload = run_benchmark(
+            args.unique, args.duplicates, args.clients, store_path)
+    finally:
+        if scratch is not None:
+            scratch.cleanup()
+    write_with_history(args.out, payload, args.history_cap)
+
+    latency = payload["submit_latency_ms"]
+    print(f"service load: {payload['submissions']} submissions "
+          f"({payload['unique_jobs']} unique x "
+          f"{payload['duplicates_per_job']}) over "
+          f"{payload['clients']} clients in "
+          f"{payload['wall_seconds']:.2f}s")
+    print(f"  submit latency: p50={latency['p50']:.1f}ms "
+          f"p99={latency['p99']:.1f}ms max={latency['max']:.1f}ms "
+          f"({latency['samples']} samples)")
+    print(f"  coalescing: ratio={payload['coalescing_ratio']:.3f} "
+          f"executed={payload['jobs_executed']} "
+          f"coalesced={payload['metrics']['jobs_coalesced']}")
+    print(f"  identical={payload['identical']} "
+          f"failed={payload['jobs_failed']}")
+    print(f"report written to {args.out}")
+
+    if args.gate:
+        failures = gate(payload, args.max_p99_ms)
+        for failure in failures:
+            print(f"GATE FAILURE: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("service benchmark gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,8 +15,15 @@ Installed as ``repro-march``::
     repro-march dictionary "March C-" --fault-list 2 --ambiguity
     repro-march diagnose "March C-" --inject "LF1:TFU->SF0" --distinguish
     repro-march fleet fleet.json --store q.sqlite --workers 4
+    repro-march serve --port 8765 --store q.sqlite  # HTTP job API
     repro-march table1                # reproduce the paper's Table 1
     repro-march figure --which g0     # DOT source of Figure 2 / 4
+
+``campaign``, ``dictionary``, ``fleet`` and ``serve`` all build the
+same frozen :class:`repro.service.jobs.JobSpec` and execute it
+through one :class:`repro.service.jobs.JobRunner`, so a job submitted
+over HTTP returns byte-identical results -- and identical one-line
+error messages -- to the equivalent CLI invocation.
 """
 
 from __future__ import annotations
@@ -41,6 +48,7 @@ from repro.faults.dynamic import (
 from repro.faults.lists import (
     fault_list_1,
     fault_list_2,
+    fault_list_by_label,
     lf1_faults,
     lf2aa_faults,
     lf2av_faults,
@@ -51,32 +59,18 @@ from repro.faults.lists import (
 from repro.march.known import ALL_KNOWN, known_march
 from repro.march.test import parse_march
 from repro.march.wordize import wordize
+from repro.service.jobs import JobRunner, JobSpec, fleet_document_text
 from repro.sim.backends import backend_names, get_backend
-from repro.sim.campaign import CoverageCampaign
 from repro.sim.supervisor import CampaignExecutionError
 from repro.sim.coverage import CoverageOracle
 from repro.store import QualificationStore
 
 
 def _fault_list(label: str):
-    lists = {
-        "1": fault_list_1,
-        "2": fault_list_2,
-        "lf1": lf1_faults,
-        "lf2aa": lf2aa_faults,
-        "lf2av": lf2av_faults,
-        "lf2va": lf2va_faults,
-        "lf3": lf3_faults,
-        "simple": simple_static_faults,
-        "dynamic": dynamic_faults,
-        "dynamic1": dynamic_single_cell_faults,
-        "dynamic2": dynamic_two_cell_faults,
-    }
     try:
-        return lists[label]()
-    except KeyError:
-        raise SystemExit(
-            f"unknown fault list {label!r}; choose from {sorted(lists)}")
+        return fault_list_by_label(label)
+    except ValueError as error:
+        raise SystemExit(str(error))
 
 
 def _cmd_lists(args: argparse.Namespace) -> int:
@@ -193,27 +187,46 @@ def _resume_command(args: argparse.Namespace) -> str:
     return shlex.join(["repro-march"] + argv)
 
 
+def _job_spec(kind: str, args: argparse.Namespace,
+              **fields) -> JobSpec:
+    """Build the validated :class:`JobSpec` of a subcommand.
+
+    The spec raises the exact one-line ``ValueError`` texts the CLI
+    has always printed (and the service returns as HTTP 400s); here
+    they just become the exit message.
+    """
+    try:
+        return JobSpec(
+            kind=kind,
+            backend=args.backend,
+            workers=args.workers,
+            timeout=getattr(args, "timeout", None),
+            chaos=getattr(args, "chaos", None),
+            **fields,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     import os
 
-    tests = []
+    # Eager selection checks keep the historical messages: --tests
+    # must be *known* names (never notation), --notation must parse.
     try:
         for name in args.tests or ():
-            tests.append(known_march(name).test)
+            known_march(name)
     except KeyError as error:
         raise SystemExit(error.args[0])
     for notation in args.notation or ():
         try:
-            test = parse_march(notation, name=notation)
-            test.check_consistency()
+            parse_march(notation, name=notation).check_consistency()
         except ValueError as error:
             raise SystemExit(f"invalid march {notation!r}: {error}")
-        tests.append(test)
+    tests = list(args.tests or ()) + list(args.notation or ())
     if not tests:
         # No explicit selection: qualify every known march test.
-        tests = [km.test for km in ALL_KNOWN.values()]
-    fault_lists = {
-        label: _fault_list(label) for label in args.fault_lists}
+        tests = list(ALL_KNOWN)
     if args.resume:
         if not args.store:
             raise SystemExit("--resume requires --store PATH")
@@ -221,30 +234,25 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             raise SystemExit(
                 f"--resume: store {args.store!r} does not exist (an "
                 f"interrupted run would have left one behind)")
+    spec = _job_spec(
+        "campaign", args,
+        tests=tuple(tests),
+        fault_lists=tuple(args.fault_lists),
+        memory_sizes=tuple(args.sizes),
+        lf3_layouts=tuple(args.lf3_layouts),
+        shard=_parse_shard(args.shard),
+        **_word_kwargs(args),
+    )
+    store = _open_optional_store(args.store)
     try:
-        campaign = CoverageCampaign(
-            tests, fault_lists,
-            memory_sizes=tuple(args.sizes),
-            lf3_layouts=tuple(args.lf3_layouts),
-            workers=args.workers,
-            backend=args.backend,
-            store=args.store,
-            shard=_parse_shard(args.shard),
-            timeout=args.timeout,
-            chaos=args.chaos,
-            **_word_kwargs(args),
-        )
-    except ValueError as error:
-        raise SystemExit(f"invalid campaign: {error}")
-    try:
-        result = campaign.run()
+        result = JobRunner(store=store).run(spec).result
     except KeyboardInterrupt:
         # Completed chunks were checkpointed as they landed; close
         # the store (WAL checkpoint) so they are durable, then hand
         # the user the exact resume command.
         print()
-        if campaign.store is not None:
-            campaign.store.close()
+        if store is not None:
+            store.close()
             print(f"interrupted: completed work is checkpointed in "
                   f"{args.store!r}")
             print(f"resume with: {_resume_command(args)}")
@@ -253,8 +261,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                   "not persisted")
         return 130
     except CampaignExecutionError as error:
-        if campaign.store is not None:
-            campaign.store.close()
+        if store is not None:
+            store.close()
         raise SystemExit(str(error))
     print(result.render())
     print(result.summary())
@@ -270,11 +278,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         with open(args.report_json, "w") as handle:
             handle.write(result.report_json() + "\n")
         print(f"deterministic report written to {args.report_json}")
-    if campaign.store is not None:
+    if store is not None:
         # Checkpoints the WAL into the main database file, so the
         # store is a single self-contained artifact (CI uploads bare
         # *.sqlite paths).
-        campaign.store.close()
+        store.close()
     return 0 if result.complete else 1
 
 
@@ -313,22 +321,6 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0 if result.complete else 1
 
 
-def _resolve_test(text: str):
-    """A march test from a known name or raw notation."""
-    try:
-        return known_march(text).test
-    except KeyError:
-        pass
-    try:
-        test = parse_march(text, name=text)
-        test.check_consistency()
-        return test
-    except ValueError as error:
-        raise SystemExit(
-            f"{text!r} is neither a known march test nor valid "
-            f"notation: {error}")
-
-
 def _open_optional_store(path):
     """Open (or create) a ``--store`` database; one-line error."""
     if path is None:
@@ -345,29 +337,20 @@ def _build_cli_dictionary(args: argparse.Namespace):
     Returns ``(dictionary, store)``; the caller closes the store
     (checkpointing the WAL into the main file) when one was opened.
     """
-    from repro.diagnosis import build_dictionary
-
-    test = _resolve_test(args.test)
-    faults = _fault_list(args.fault_list)
+    spec = _job_spec(
+        "dictionary", args,
+        tests=(args.test,),
+        fault_lists=(args.fault_list,),
+        memory_sizes=(args.size,),
+        lf3_layouts=(args.lf3_layout,),
+        **_word_kwargs(args),
+    )
     store = _open_optional_store(args.store)
     try:
-        policy = None
-        timeout = getattr(args, "timeout", None)
-        if timeout is not None:
-            from repro.sim.supervisor import SupervisorPolicy
-            policy = SupervisorPolicy(timeout=timeout)
-        dictionary = build_dictionary(
-            test, faults,
-            memory_size=args.size,
-            lf3_layout=args.lf3_layout,
-            backend=args.backend,
-            store=store,
-            workers=args.workers,
-            policy=policy,
-            chaos=getattr(args, "chaos", None),
-            **_word_kwargs(args),
-        )
+        dictionary = JobRunner(store=store).run(spec).result
     except ValueError as error:
+        if store is not None:
+            store.close()
         raise SystemExit(f"invalid dictionary build: {error}")
     except KeyboardInterrupt:
         # Finished signature rows were recorded incrementally;
@@ -453,6 +436,21 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     try:
         signature = _observed_signature(args, dictionary)
         cls = diagnose(dictionary, signature)
+        if args.json:
+            import json as json_module
+
+            document = {
+                "signature": signature_str(signature),
+                "matched": cls is not None,
+            }
+            if cls is not None:
+                document["class_size"] = cls.size
+                document["faults"] = sorted(cls.fault_names)
+            with open(args.json, "w") as handle:
+                handle.write(json_module.dumps(
+                    document, sort_keys=True,
+                    separators=(",", ":")) + "\n")
+            print(f"diagnosis written to {args.json}")
         if cls is None:
             print(f"signature [{signature_str(signature)}] matches "
                   f"no modelled fault placement in this dictionary")
@@ -515,21 +513,19 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
 def _cmd_fleet(args: argparse.Namespace) -> int:
     import os
 
-    from repro.diagnosis import diagnose_fleet, load_fleet_spec
+    from repro.diagnosis import load_fleet_spec
 
     try:
-        spec = load_fleet_spec(args.spec)
+        fleet_spec = load_fleet_spec(args.spec)
     except OSError as error:
         raise SystemExit(f"cannot read fleet spec: {error}")
     except ValueError as error:
         raise SystemExit(str(error))
-    march = args.test or spec.march
+    march = args.test or fleet_spec.march
     if march is None:
         raise SystemExit(
             "no march test selected: pass --test or set 'march' in "
             "the fleet spec")
-    test = _resolve_test(march)
-    faults = _fault_list(args.fault_list or spec.fault_list or "2")
     if args.resume:
         if not args.store:
             raise SystemExit("--resume requires --store PATH")
@@ -537,20 +533,16 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             raise SystemExit(
                 f"--resume: store {args.store!r} does not exist (an "
                 f"interrupted run would have left one behind)")
+    spec = _job_spec(
+        "fleet", args,
+        tests=(march,),
+        fault_lists=(
+            args.fault_list or fleet_spec.fault_list or "2",),
+        fleet=fleet_document_text(fleet_spec),
+    )
     store = _open_optional_store(args.store)
-    policy = None
-    if args.timeout is not None:
-        from repro.sim.supervisor import SupervisorPolicy
-        policy = SupervisorPolicy(timeout=args.timeout)
     try:
-        report = diagnose_fleet(
-            test, faults, spec,
-            backend=args.backend,
-            store=store,
-            workers=args.workers,
-            policy=policy,
-            chaos=args.chaos,
-        )
+        report = JobRunner(store=store).run(spec).result
     except ValueError as error:
         if store is not None:
             store.close()
@@ -598,6 +590,55 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if store is not None:
         store.close()  # checkpoint WAL into the main file
     return 0 if report.all_diagnosed else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import start_service
+
+    try:
+        handle = start_service(
+            host=args.host,
+            port=args.port,
+            store_path=args.store,
+            job_workers=args.job_workers,
+            queue_size=args.queue_size,
+            rate=args.rate,
+            burst=args.burst,
+            sim_workers=args.workers,
+            backend=args.backend,
+            timeout=args.timeout,
+            chaos=args.chaos,
+        )
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"cannot start service: {error}")
+    print(f"serving qualification jobs on {handle.url}")
+    print(f"  POST {handle.url}/jobs "
+          f"(campaign | dictionary | fleet specs)")
+    print(f"  GET  {handle.url}/jobs/{{id}}  "
+          f"/jobs/{{id}}/result  /healthz  /store/stats")
+    store_note = args.store or "(none: in-flight coalescing only)"
+    print(f"  store: {store_note}  job workers: {args.job_workers}  "
+          f"sim workers/job: {args.workers}")
+    if args.json:
+        import json as json_module
+        import os
+
+        with open(args.json, "w") as out:
+            out.write(json_module.dumps({
+                "url": handle.url,
+                "host": handle.host,
+                "port": handle.port,
+                "pid": os.getpid(),
+            }) + "\n")
+        print(f"service info written to {args.json}")
+    try:
+        while handle.thread.is_alive():
+            handle.thread.join(1.0)
+    except KeyboardInterrupt:
+        print()
+        print("shutting down (draining running jobs)")
+        handle.stop()
+    return 0
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -749,6 +790,47 @@ def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
              "across backends")
 
 
+def _shared_options() -> argparse.ArgumentParser:
+    """The parent parser of every job-shaped subcommand.
+
+    ``campaign``, ``dictionary``, ``diagnose``, ``fleet`` and
+    ``serve`` all execute through the same :class:`JobSpec` /
+    :class:`JobRunner` pair, so they inherit one spelling of the
+    execution flags from this parent instead of re-declaring them
+    per subcommand; a parity test pins the shared set.
+    """
+    shared = argparse.ArgumentParser(add_help=False)
+    _add_backend_argument(shared)
+    shared.add_argument(
+        "--store", metavar="PATH",
+        help="content-addressed qualification store (SQLite, created "
+             "on demand): completed simulation work is memoized, so "
+             "identical jobs -- CLI or service, any surface -- skip "
+             "simulation and return byte-identical results")
+    shared.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="simulation worker processes (default 1 = serial; "
+             "results are byte-identical for any worker count)")
+    shared.add_argument(
+        "--timeout", type=float, metavar="SECONDS",
+        help="wall-clock budget per work chunk: a chunk past its "
+             "budget is retried on a fresh worker pool (hung-worker "
+             "recovery; default: unbounded)")
+    shared.add_argument(
+        "--chaos", metavar="SPEC",
+        help="deterministic fault injection for testing the "
+             "supervisor, e.g. 'crash=0.3,poison=0.2,seed=7' (rates "
+             "for crash/hang/slow/poison/lock, plus seed, attempts, "
+             "slow_seconds, hang_seconds); results stay "
+             "byte-identical to an undisturbed run")
+    shared.add_argument(
+        "--json", metavar="PATH",
+        help="also write the subcommand's JSON artifact to PATH "
+             "(campaign/fleet report, dictionary, diagnosis, or the "
+             "serve endpoint info)")
+    return shared
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``repro-march`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -758,6 +840,7 @@ def build_parser() -> argparse.ArgumentParser:
             "faults (Benso et al., DATE 2006 reproduction)"),
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    shared = _shared_options()
 
     sub.add_parser("lists", help="fault list inventory") \
         .set_defaults(func=_cmd_lists)
@@ -820,7 +903,7 @@ def build_parser() -> argparse.ArgumentParser:
     generate.set_defaults(func=_cmd_generate)
 
     campaign = sub.add_parser(
-        "campaign",
+        "campaign", parents=[shared],
         help="batched coverage campaign: many tests x many fault "
              "lists x many memory geometries, optionally in parallel",
         description=(
@@ -849,24 +932,10 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("straddle", "all"),
         help="three-cell placement policies to sweep")
     campaign.add_argument(
-        "--workers", type=int, default=1, metavar="N",
-        help="worker processes (default 1 = today's serial path; "
-             "N>1 chunks each fault list across a process pool, "
-             "deterministic result order either way)")
-    campaign.add_argument(
-        "--json", metavar="PATH",
-        help="also write the full campaign report as JSON")
-    campaign.add_argument(
         "--report-json", metavar="PATH",
         help="also write the deterministic (timing-free) report as "
              "JSON -- byte-identical across worker counts, backends, "
              "store hits and sharded-then-merged runs")
-    campaign.add_argument(
-        "--store", metavar="PATH",
-        help="content-addressed qualification store (SQLite, created "
-             "on demand): jobs already stored skip simulation but "
-             "still appear in the report byte-identically; misses "
-             "are recorded for future runs")
     campaign.add_argument(
         "--shard", metavar="I/N",
         help="run only this deterministic shard of the job list "
@@ -879,19 +948,6 @@ def build_parser() -> argparse.ArgumentParser:
              "--store and re-runs only the cells missing from it "
              "(the final report is byte-identical to an "
              "uninterrupted run)")
-    campaign.add_argument(
-        "--timeout", type=float, metavar="SECONDS",
-        help="per-chunk wall-clock budget for parallel execution: a "
-             "chunk past its budget is retried on a fresh worker "
-             "pool (hung-worker recovery; default: unbounded)")
-    campaign.add_argument(
-        "--chaos", metavar="SPEC",
-        help="deterministic fault injection for testing the "
-             "supervisor, e.g. 'crash=0.3,poison=0.2,seed=7' (rates "
-             "for crash/hang/slow/poison/lock, plus seed, attempts, "
-             "slow_seconds, hang_seconds); the recovered report "
-             "stays byte-identical to an undisturbed run")
-    _add_backend_argument(campaign)
     _add_word_arguments(campaign)
     campaign.add_argument("--verbose", action="store_true")
     campaign.set_defaults(func=_cmd_campaign)
@@ -909,21 +965,11 @@ def build_parser() -> argparse.ArgumentParser:
                  "default 3)")
         parser.add_argument("--lf3-layout", default="straddle",
                             choices=("straddle", "all"))
-        parser.add_argument(
-            "--store", metavar="PATH",
-            help="content-addressed qualification store: each fault's "
-                 "signature row is cached, so a warm rebuild performs "
-                 "zero simulations")
-        parser.add_argument(
-            "--workers", type=int, default=1, metavar="N",
-            help="processes for the signature build (default 1; the "
-                 "dictionary is identical for any worker count)")
-        _add_backend_argument(parser)
         _add_word_arguments(parser)
         parser.add_argument("--verbose", action="store_true")
 
     dictionary = sub.add_parser(
-        "dictionary",
+        "dictionary", parents=[shared],
         help="build the fault dictionary (detection signatures) of a "
              "march test",
         description=(
@@ -941,26 +987,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, metavar="N",
         help="show only the N largest ambiguity classes")
     dictionary.add_argument(
-        "--json", metavar="PATH",
-        help="write the dictionary as deterministic JSON "
-             "(byte-identical across backends, workers and store "
-             "states)")
-    dictionary.add_argument(
         "--ambiguity-json", metavar="PATH",
         help="write the ambiguity report as JSON")
-    dictionary.add_argument(
-        "--timeout", type=float, metavar="SECONDS",
-        help="wall-clock budget per signature chunk; hung workers "
-             "are killed and their chunks retried")
-    dictionary.add_argument(
-        "--chaos", metavar="SPEC",
-        help="inject deterministic worker faults while building "
-             "(same spec syntax as campaign --chaos); the dictionary "
-             "must come out byte-identical regardless")
     dictionary.set_defaults(func=_cmd_dictionary)
 
     diagnose = sub.add_parser(
-        "diagnose",
+        "diagnose", parents=[shared],
         help="resolve an observed failure signature to its ambiguity "
              "class",
         description=(
@@ -998,7 +1030,7 @@ def build_parser() -> argparse.ArgumentParser:
     diagnose.set_defaults(func=_cmd_diagnose)
 
     fleet = sub.add_parser(
-        "fleet",
+        "fleet", parents=[shared],
         help="diagnose a fleet of heterogeneous memory instances "
              "under one shared march schedule",
         description=(
@@ -1025,39 +1057,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault list label (default: the spec's 'fault_list' "
              "entry, then '2')")
     fleet.add_argument(
-        "--store", metavar="PATH",
-        help="content-addressed qualification store: signature rows "
-             "are shared across geometries and runs, so a warm fleet "
-             "rerun performs zero simulations")
-    fleet.add_argument(
-        "--workers", type=int, default=1, metavar="N",
-        help="processes for the dictionary builds (default 1; the "
-             "fleet report is identical for any worker count)")
-    fleet.add_argument(
-        "--timeout", type=float, metavar="SECONDS",
-        help="wall-clock budget per signature chunk; hung workers "
-             "are killed and their chunks retried")
-    fleet.add_argument(
-        "--chaos", metavar="SPEC",
-        help="inject deterministic worker faults while building "
-             "(same spec syntax as campaign --chaos); the fleet "
-             "report must come out byte-identical regardless")
-    fleet.add_argument(
         "--resume", action="store_true",
         help="resume an interrupted fleet run: requires --store and "
              "re-simulates only the signature rows missing from it")
-    fleet.add_argument(
-        "--json", metavar="PATH",
-        help="write the full fleet report (including session "
-             "counters) as JSON")
     fleet.add_argument(
         "--report-json", metavar="PATH",
         help="write the deterministic fleet report as JSON -- "
              "byte-identical across worker counts, backends and "
              "store states")
-    _add_backend_argument(fleet)
     fleet.add_argument("--verbose", action="store_true")
     fleet.set_defaults(func=_cmd_fleet)
+
+    serve = sub.add_parser(
+        "serve", parents=[shared],
+        help="serve qualification jobs over HTTP (campaign, "
+             "dictionary and fleet specs as async jobs)",
+        description=(
+            "Start the qualification service: a dependency-free "
+            "HTTP API that accepts campaign, dictionary and fleet "
+            "jobs as JSON (POST /jobs), executes them through the "
+            "same JobRunner as the CLI subcommands, and coalesces "
+            "concurrent identical submissions -- keyed by the "
+            "content-addressed job key, so jobs differing only in "
+            "backend/workers/timeout/chaos run once.  Results are "
+            "byte-identical to the equivalent CLI invocation; "
+            "invalid specs return the CLI's exact one-line error as "
+            "an HTTP 400."))
+    serve.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="bind address (default 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=8765, metavar="PORT",
+        help="TCP port (default 8765; 0 binds an ephemeral port, "
+             "printed on startup and recorded by --json)")
+    serve.add_argument(
+        "--job-workers", type=int, default=2, metavar="N",
+        help="concurrent job-executor threads (default 2); each job "
+             "additionally fans simulation out over at most "
+             "--workers processes")
+    serve.add_argument(
+        "--queue-size", type=int, default=64, metavar="N",
+        help="bounded job-queue depth; a full queue answers 503 "
+             "(default 64)")
+    serve.add_argument(
+        "--rate", type=float, default=20.0, metavar="R",
+        help="per-client token-bucket refill rate in requests/s; an "
+             "empty bucket answers 429 (default 20)")
+    serve.add_argument(
+        "--burst", type=int, default=40, metavar="B",
+        help="per-client token-bucket capacity (default 40)")
+    serve.set_defaults(func=_cmd_serve)
 
     store = sub.add_parser(
         "store",

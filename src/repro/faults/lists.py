@@ -255,3 +255,52 @@ def named_subset(names: Sequence[str], topology: Topology) -> Tuple[LinkedFault,
         faults.append(LinkedFault(
             fp_by_name(left.strip()), fp_by_name(right.strip()), topology))
     return tuple(faults)
+
+
+# ----------------------------------------------------------------------
+# Label registry -- the naming seam shared by the CLI and the job API.
+# ----------------------------------------------------------------------
+
+def fault_list_factories() -> dict:
+    """Label -> factory map of every selectable fault list.
+
+    One registry serves ``repro-march`` subcommands and
+    :class:`repro.service.jobs.JobSpec`, so a label is valid on the
+    command line exactly when it is valid in a submitted job.
+    """
+    from repro.faults.dynamic import (
+        dynamic_faults,
+        dynamic_single_cell_faults,
+        dynamic_two_cell_faults,
+    )
+
+    return {
+        "1": fault_list_1,
+        "2": fault_list_2,
+        "lf1": lf1_faults,
+        "lf2aa": lf2aa_faults,
+        "lf2av": lf2av_faults,
+        "lf2va": lf2va_faults,
+        "lf3": lf3_faults,
+        "simple": simple_static_faults,
+        "dynamic": dynamic_faults,
+        "dynamic1": dynamic_single_cell_faults,
+        "dynamic2": dynamic_two_cell_faults,
+    }
+
+
+def fault_list_by_label(label: str) -> Tuple:
+    """Materialize the fault list named *label*.
+
+    Raises:
+        ValueError: on an unknown label (one line, listing the
+            choices -- the text every surface shows verbatim).
+    """
+    factories = fault_list_factories()
+    try:
+        factory = factories[label]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault list {label!r}; "
+            f"choose from {sorted(factories)}") from None
+    return tuple(factory())

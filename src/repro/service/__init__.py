@@ -1,0 +1,46 @@
+"""Qualification-as-a-service: the unified job API.
+
+One frozen :class:`JobSpec` describes any qualification job (a
+campaign grid, a dictionary build, a fleet diagnosis); one
+:class:`JobRunner` executes it.  The CLI subcommands and the HTTP
+service (:class:`QualificationService`, ``repro-march serve``) are
+both thin shells over this pair, so results -- and error messages --
+are identical across surfaces.  See ``DESIGN_service.md``.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import (
+    JOB_KINDS,
+    JobResult,
+    JobRunner,
+    JobSpec,
+    fleet_document,
+    fleet_document_text,
+    resolve_test,
+)
+from repro.service.server import (
+    QualificationService,
+    QueueFull,
+    RateLimited,
+    ServiceHandle,
+    TokenBucket,
+    start_service,
+)
+
+__all__ = [
+    "JOB_KINDS",
+    "JobResult",
+    "JobRunner",
+    "JobSpec",
+    "QualificationService",
+    "QueueFull",
+    "RateLimited",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceHandle",
+    "TokenBucket",
+    "fleet_document",
+    "fleet_document_text",
+    "resolve_test",
+    "start_service",
+]

@@ -153,6 +153,12 @@ class CampaignResult:
     #: jobs that had to simulate (both 0 when no store was attached).
     store_hits: int = 0
     store_misses: int = 0
+    #: Contexts simulated by *this* run.  Store hits replay their
+    #: stored context counts into :attr:`contexts_simulated` (the
+    #: report is byte-identical either way), so a fully warm run
+    #: reports 0 here -- the number the service's coalescing and
+    #: zero-simulation guarantees are audited against.
+    contexts_executed: int = 0
     #: The ``(index, count)`` shard this result covers (``None`` for a
     #: full, unsharded run).
     shard: Optional[Tuple[int, int]] = None
@@ -505,6 +511,9 @@ class CoverageCampaign:
             wall_seconds=perf_counter() - start,
             store_hits=hits,
             store_misses=misses,
+            contexts_executed=sum(
+                reports[position].contexts_simulated
+                for position, _job, _key in pending),
             shard=self.shard,
             failure_report=failure_report,
         )

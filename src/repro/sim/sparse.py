@@ -71,8 +71,8 @@ from repro.sim.batch import cached_segment_walks, register_cache
 # ----------------------------------------------------------------------
 # Backend selection moved to the first-class registry in
 # :mod:`repro.sim.backends`.  The names below survive strictly for
-# out-of-repo callers and are removed in the release after next: they
-# now warn on every use, and the hygiene suite
+# out-of-repo callers and are deleted in PR 10: they now warn on
+# every use, and the hygiene suite
 # (``tests/test_fleet.py::TestShimHygiene``) fails the build if any
 # in-repo module touches them.  ``BACKENDS`` is served through the
 # module ``__getattr__`` below so even a bare attribute access warns.
@@ -84,7 +84,7 @@ def _warn_shim(name: str, replacement: str) -> None:
         f"repro.sim.sparse.{name} is deprecated since the backend "
         f"registry replaced the string dispatch; use "
         f"repro.sim.backends.{replacement} instead.  The shim will "
-        f"be removed in the release after next.",
+        f"be removed in PR 10.",
         DeprecationWarning, stacklevel=3)
 
 

@@ -332,3 +332,63 @@ class TestResilienceCli:
         store = QualificationStore(store_path)
         assert len(store) > 0
         store.close()
+
+
+class TestSharedFlagParity:
+    """The job-shaped subcommands inherit one shared parent parser.
+
+    Pins the satellite: ``--backend/--store/--workers/--timeout/
+    --chaos/--json`` are declared once (``repro.cli._shared_options``)
+    and every subcommand that executes through the JobSpec/JobRunner
+    pair -- including ``serve`` and any future one -- exposes the
+    identical spelling.
+    """
+
+    SHARED = {"--backend", "--store", "--workers", "--timeout",
+              "--chaos", "--json"}
+    JOB_COMMANDS = ("campaign", "dictionary", "diagnose", "fleet",
+                    "serve")
+
+    @staticmethod
+    def _subcommands():
+        parser = build_parser()
+        for action in parser._actions:
+            if hasattr(action, "choices") and action.choices:
+                return action.choices
+        raise AssertionError("no subparsers found")
+
+    def test_every_job_subcommand_has_the_shared_flags(self):
+        subcommands = self._subcommands()
+        for command in self.JOB_COMMANDS:
+            options = {
+                option
+                for action in subcommands[command]._actions
+                for option in action.option_strings}
+            missing = self.SHARED - options
+            assert not missing, (command, sorted(missing))
+
+    def test_shared_defaults_are_identical(self):
+        subcommands = self._subcommands()
+        defaults = None
+        for command in self.JOB_COMMANDS:
+            sub = subcommands[command]
+            these = {
+                action.option_strings[0]: action.default
+                for action in sub._actions
+                if action.option_strings
+                and action.option_strings[0] in self.SHARED}
+            if defaults is None:
+                defaults = these
+            else:
+                assert these == defaults, command
+
+    def test_serve_parses_with_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.port == 8765
+        assert args.host == "127.0.0.1"
+        assert args.job_workers == 2
+        assert args.queue_size == 64
+        assert args.backend == "auto"
+        assert args.workers == 1
+        assert args.store is None

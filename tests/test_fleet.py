@@ -557,6 +557,9 @@ class TestShimHygiene:
         message = str(caught[0].message)
         assert "repro.sim.backends" in message
         assert "removed" in message
+        # The deletion horizon is a named PR, not a vague "soon":
+        # PR 10 deletes the shims (see ROADMAP.md).
+        assert "PR 10" in message
 
     def test_package_import_is_warning_free(self):
         # Importing the package tree must never touch a shim; run in
