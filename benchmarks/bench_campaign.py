@@ -42,6 +42,12 @@ rebuild must perform zero simulations and beat the cold run by
 byte-identical, and every injected fault must resolve to an
 ambiguity class containing the true fault.
 
+With ``--bist`` the script additionally runs the **BIST codegen
+leg**: March C- and March SL compiled to ``BistProgram`` netlists
+(compile wall time, repeated-compile byte-stability) and
+trace-equivalence-verified per backend (verify wall time), appended
+as ``bist``.
+
 Output files keep a bounded **history**: each run appends a compact
 timing record per benchmark key (workload, ``size=N``, ``width=W``,
 ``store``) and the per-key history is capped at the last
@@ -80,7 +86,12 @@ As a CI gate (``--gate``) the script fails when:
 * (with ``--fleet``) the fleet reports diverge across cold/warm/
   parallel runs, the warm rebuild simulates anything, an injected
   fault escapes its ambiguity class, the fleet stops sharing
-  dictionaries, or the warm rebuild misses its speedup floor.
+  dictionaries, or the warm rebuild misses its speedup floor; or
+* (with ``--bist``) a compiled netlist is not byte-stable across
+  repeated compiles, an interpreted BIST program is not
+  trace-equivalent to the direct march run on any backend, or the
+  verifier's interpreted-run report differs from its direct-run
+  report in any byte.
 
 Usage::
 
@@ -581,6 +592,66 @@ def run_fleet_leg(
         store.close()
 
 
+def run_bist_leg(
+    tests: Sequence[str] = ("March C-", "March SL"),
+    backends: Sequence[str] = ("dense", "bitpar"),
+    fault_list: str = "2",
+    memory_size: int = 3,
+) -> Dict[str, object]:
+    """BIST codegen benchmark: compile + verify wall time, hard gates.
+
+    Compiles each march twice (the netlist must be byte-stable) and
+    times a full trace-equivalence verification per backend.  The
+    gate is correctness-shaped rather than speed-shaped: any netlist
+    instability, any non-equivalent verification, or any divergence
+    between the verifier's direct-run report and its interpreted-run
+    report fails the run.
+    """
+    from time import perf_counter
+
+    from repro.analysis.bist import compile_march
+    from repro.cli import _fault_list
+    from repro.march.known import known_march
+    from repro.sim.bist import verify_program
+
+    faults = _fault_list(fault_list)
+    entries = []
+    for name in tests:
+        test = known_march(name).test
+        start = perf_counter()
+        program = compile_march(test)
+        compile_seconds = perf_counter() - start
+        stable = (compile_march(test).to_json() == program.to_json()
+                  and compile_march(test).netlist_sha256()
+                  == program.netlist_sha256())
+        verify = {}
+        for backend in backends:
+            start = perf_counter()
+            verification = verify_program(
+                program, test, faults, memory_size=memory_size,
+                backend=backend)
+            verify[backend] = {
+                "wall_seconds": perf_counter() - start,
+                "equivalent": verification.equivalent,
+                "simulated_runs": verification.simulated_runs,
+                "reports_identical": (verification.direct_report
+                                      == verification.interpreted_report),
+            }
+        entries.append({
+            "test": name,
+            "netlist_sha256": program.netlist_sha256(),
+            "netlist_stable": stable,
+            "states": len(program.states),
+            "compile_wall_seconds": compile_seconds,
+            "verify": verify,
+        })
+    return {
+        "fault_list": fault_list,
+        "memory_size": memory_size,
+        "entries": entries,
+    }
+
+
 def _bare_pool_run(workload: Dict[str, object], workers: int):
     """One bare-pool campaign pass: (entry dicts, wall seconds).
 
@@ -742,6 +813,18 @@ def _history_records(payload: Dict[str, object]) -> Dict[str, dict]:
                 "speedup": fleet_leg["speedup"],
                 "identical": fleet_leg["identical"],
                 "all_diagnosed": fleet_leg["all_diagnosed"],
+            }
+        for entry in payload.get("bist", {}).get("entries", ()):
+            records[f"bist {entry['test']}"] = {
+                "compile_wall_seconds":
+                    entry["compile_wall_seconds"],
+                "verify_wall_seconds": {
+                    backend: leg["wall_seconds"]
+                    for backend, leg in entry["verify"].items()},
+                "netlist_stable": entry["netlist_stable"],
+                "equivalent": all(
+                    leg["equivalent"]
+                    for leg in entry["verify"].values()),
             }
     else:  # sparse-sweep payload
         for entry in payload.get("entries", ()):
@@ -932,6 +1015,26 @@ def gate(payload: Dict[str, object]) -> List[str]:
                 f"warm fleet rebuild fails the speedup gate for "
                 f"{name}: {fleet_leg['speedup']:.1f}x < "
                 f"{fleet_leg['min_fleet_speedup']:.1f}x")
+    bist_leg = payload.get("bist")
+    if bist_leg:
+        for entry in bist_leg["entries"]:
+            name = entry["test"]
+            if not entry["netlist_stable"]:
+                failures.append(
+                    f"bist netlist for {name} is NOT byte-stable "
+                    f"across repeated compiles -- the netlist must "
+                    f"be a deterministic content-addressed artifact")
+            for backend, leg in entry["verify"].items():
+                if not leg["equivalent"]:
+                    failures.append(
+                        f"bist program for {name} is NOT "
+                        f"trace-equivalent to the direct march run "
+                        f"on backend {backend}")
+                if not leg["reports_identical"]:
+                    failures.append(
+                        f"bist verification for {name} on backend "
+                        f"{backend}: interpreted-run report differs "
+                        f"from the direct-run report")
     return failures
 
 
@@ -1046,6 +1149,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         default=2.0,
                         help="required warm-vs-cold speedup for the "
                              "fleet leg (applies on any machine)")
+    parser.add_argument("--bist", action="store_true",
+                        help="also run the BIST codegen leg: compile "
+                             "+ trace-equivalence verification wall "
+                             "time per backend, gated on netlist "
+                             "byte-stability and interpreted-vs-"
+                             "direct report identity, appended to "
+                             "the main report as 'bist'")
     parser.add_argument("--chaos-overhead", action="store_true",
                         help="also run the supervisor-overhead leg: "
                              "a clean supervised campaign vs the "
@@ -1093,6 +1203,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.min_fleet_speedup,
             spec_path=args.fleet_spec,
             store_path=args.fleet_store_path)
+    if args.bist:
+        payload["bist"] = run_bist_leg()
     write_with_history(args.out, payload, args.history_cap)
 
     print(f"workload={payload['workload']} jobs={payload['jobs']} "
@@ -1183,6 +1295,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               f"identical={leg['identical']} "
               f"all_diagnosed={leg['all_diagnosed']} "
               f"warm_sims={leg['warm_simulated_runs']}")
+    if args.bist:
+        leg = payload["bist"]
+        print(f"bist codegen leg (fault list {leg['fault_list']}, "
+              f"n={leg['memory_size']}):")
+        for entry in leg["entries"]:
+            verify = " ".join(
+                f"{backend}={timing['wall_seconds']:.2f}s"
+                for backend, timing in entry["verify"].items())
+            equivalent = all(
+                timing["equivalent"]
+                for timing in entry["verify"].values())
+            print(f"  {entry['test']:<10s} "
+                  f"compile={entry['compile_wall_seconds']*1000:.1f}ms "
+                  f"verify[{verify}] "
+                  f"stable={entry['netlist_stable']} "
+                  f"equivalent={equivalent} "
+                  f"sha={entry['netlist_sha256'][:12]}")
     print(f"report written to {args.out}")
 
     sparse_payload = None

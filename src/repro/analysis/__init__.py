@@ -4,9 +4,17 @@
 * :mod:`repro.analysis.compare` -- Table 1 reconstruction: improvement
   percentages against the paper's baselines, coverage matrices;
 * :mod:`repro.analysis.dot` -- Graphviz exports for the paper's
-  figures (G0, the pattern graph, linked test patterns).
+  figures (G0, the pattern graph, linked test patterns);
+* :mod:`repro.analysis.bist` -- march-to-BIST compilation: FSM +
+  address/data generators + comparator, JSON netlist and Verilog.
 """
 
+from repro.analysis.bist import (
+    BistOp,
+    BistProgram,
+    BistState,
+    compile_march,
+)
 from repro.analysis.table import TextTable
 from repro.analysis.compare import (
     Table1Row,
@@ -26,6 +34,10 @@ from repro.analysis.dot import (
 )
 
 __all__ = [
+    "BistOp",
+    "BistProgram",
+    "BistState",
+    "compile_march",
     "render_ambiguity_table",
     "render_dictionary_summary",
     "TextTable",

@@ -510,6 +510,36 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bist(args: argparse.Namespace) -> int:
+    spec = _job_spec(
+        "bist", args,
+        tests=(args.test,),
+        fault_lists=(args.fault_list,),
+        memory_sizes=(args.size,),
+        lf3_layouts=(args.lf3_layout,),
+        **_word_kwargs(args),
+    )
+    # BIST jobs always verify: the netlist the CLI (and the service)
+    # hands out is proven trace-equivalent to the direct march run.
+    job = JobRunner().run(spec)
+    program, verification = job.result
+    print(program.describe())
+    print(f"netlist sha256: {program.netlist_sha256()}")
+    print(job.summary)
+    if args.verbose and verification.mismatches:
+        for mismatch in verification.mismatches:
+            print(f"  mismatch: {mismatch}")
+    if args.json:
+        with open(args.json, "wb") as handle:
+            handle.write(job.report_bytes)
+        print(f"bist netlist written to {args.json}")
+    if args.verilog:
+        with open(args.verilog, "w") as handle:
+            handle.write(program.to_verilog() + "\n")
+        print(f"verilog written to {args.verilog}")
+    return 0 if job.ok else 1
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     import os
 
@@ -613,7 +643,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit(f"cannot start service: {error}")
     print(f"serving qualification jobs on {handle.url}")
     print(f"  POST {handle.url}/jobs "
-          f"(campaign | dictionary | fleet specs)")
+          f"(campaign | dictionary | fleet | bist specs)")
     print(f"  GET  {handle.url}/jobs/{{id}}  "
           f"/jobs/{{id}}/result  /healthz  /store/stats")
     store_note = args.store or "(none: in-flight coalescing only)"
@@ -793,8 +823,8 @@ def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
 def _shared_options() -> argparse.ArgumentParser:
     """The parent parser of every job-shaped subcommand.
 
-    ``campaign``, ``dictionary``, ``diagnose``, ``fleet`` and
-    ``serve`` all execute through the same :class:`JobSpec` /
+    ``campaign``, ``dictionary``, ``diagnose``, ``fleet``, ``bist``
+    and ``serve`` all execute through the same :class:`JobSpec` /
     :class:`JobRunner` pair, so they inherit one spelling of the
     execution flags from this parent instead of re-declaring them
     per subcommand; a parity test pins the shared set.
@@ -826,8 +856,8 @@ def _shared_options() -> argparse.ArgumentParser:
     shared.add_argument(
         "--json", metavar="PATH",
         help="also write the subcommand's JSON artifact to PATH "
-             "(campaign/fleet report, dictionary, diagnosis, or the "
-             "serve endpoint info)")
+             "(campaign/fleet report, dictionary, diagnosis, bist "
+             "netlist, or the serve endpoint info)")
     return shared
 
 
@@ -1068,14 +1098,53 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--verbose", action="store_true")
     fleet.set_defaults(func=_cmd_fleet)
 
+    bist = sub.add_parser(
+        "bist", parents=[shared],
+        help="compile a march test into a memory-BIST engine "
+             "(verified JSON netlist, optional Verilog)",
+        description=(
+            "Compile a march test -- a known name, raw notation, or "
+            "a generated distinguishing march -- into a BIST engine "
+            "description: FSM state table, up/down address-generator "
+            "spec, data-background generator and comparator.  The "
+            "compiled program is always verified before anything is "
+            "written: re-simulating it through the engine must "
+            "reproduce the direct march run's operation grid, "
+            "detection sites and report bytes over the given fault "
+            "list and geometry (exit 1 on any divergence).  --json "
+            "writes the deterministic netlist (byte-identical across "
+            "runs, backends and machines; the same bytes the service "
+            "serves for a bist job), --verilog the synthesizable "
+            "module."))
+    bist.add_argument(
+        "test",
+        help='march test to compile: a known name ("March C-") or '
+             'raw notation ("c(w0) U(r0,w1) ...")')
+    bist.add_argument(
+        "--fault-list", default="2",
+        help="fault list to verify trace equivalence over "
+             "(default: 2)")
+    bist.add_argument(
+        "--size", type=int, default=3, metavar="N",
+        help="verification memory size (words in word mode; "
+             "default 3)")
+    bist.add_argument("--lf3-layout", default="straddle",
+                      choices=("straddle", "all"))
+    _add_word_arguments(bist)
+    bist.add_argument(
+        "--verilog", metavar="PATH",
+        help="write the synthesizable Verilog module")
+    bist.add_argument("--verbose", action="store_true")
+    bist.set_defaults(func=_cmd_bist)
+
     serve = sub.add_parser(
         "serve", parents=[shared],
         help="serve qualification jobs over HTTP (campaign, "
-             "dictionary and fleet specs as async jobs)",
+             "dictionary, fleet and bist specs as async jobs)",
         description=(
             "Start the qualification service: a dependency-free "
-            "HTTP API that accepts campaign, dictionary and fleet "
-            "jobs as JSON (POST /jobs), executes them through the "
+            "HTTP API that accepts campaign, dictionary, fleet and "
+            "bist jobs as JSON (POST /jobs), executes them through the "
             "same JobRunner as the CLI subcommands, and coalesces "
             "concurrent identical submissions -- keyed by the "
             "content-addressed job key, so jobs differing only in "

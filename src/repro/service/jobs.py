@@ -1,7 +1,7 @@
 """The unified job abstraction: one ``JobSpec``, one ``JobRunner``.
 
 Every execution surface -- ``repro-march campaign``, ``dictionary``,
-``fleet`` and the HTTP service (:mod:`repro.service.server`) --
+``fleet``, ``bist`` and the HTTP service (:mod:`repro.service.server`) --
 constructs the same frozen :class:`JobSpec` and executes it through
 one :class:`JobRunner`, replacing the per-subcommand argument plumbing
 that used to live in :mod:`repro.cli`.  A spec is a pure value:
@@ -62,7 +62,7 @@ from repro.store.keys import (
 )
 
 #: The job kinds the runner executes, in CLI-subcommand order.
-JOB_KINDS = ("campaign", "dictionary", "fleet")
+JOB_KINDS = ("campaign", "dictionary", "fleet", "bist")
 
 #: Per-kind error label: validation failures read ``invalid <label>:
 #: <detail>`` -- the exact texts the CLI has always printed.
@@ -70,6 +70,7 @@ _ERROR_LABEL = {
     "campaign": "campaign",
     "dictionary": "dictionary build",
     "fleet": "fleet run",
+    "bist": "bist compile",
 }
 
 #: Singular/plural field aliases accepted by :meth:`JobSpec.from_dict`.
@@ -169,9 +170,12 @@ class JobSpec:
     """One qualification job, as submitted by any surface.
 
     ``tests``/``fault_lists``/``memory_sizes``/``lf3_layouts`` sweep a
-    campaign's grid; a ``dictionary`` job takes exactly one of each; a
-    ``fleet`` job takes one test and one list plus the canonical fleet
-    document (``fleet``), whose instances carry the geometry.
+    campaign's grid; ``dictionary`` and ``bist`` jobs take exactly one
+    of each; a ``fleet`` job takes one test and one list plus the
+    canonical fleet document (``fleet``), whose instances carry the
+    geometry.  A ``bist`` job compiles its march into a BIST netlist
+    and proves trace equivalence over that single geometry; its report
+    bytes are the canonical netlist JSON.
 
     ``backend``/``workers``/``timeout``/``chaos`` are execution knobs:
     validated here, excluded from :meth:`job_key` (results are
@@ -294,7 +298,9 @@ class JobSpec:
                 raise self._error(
                     f"shard index must satisfy 1 <= index <= count, "
                     f"got {index}/{count}")
-        if self.kind == "dictionary":
+        if self.kind in ("dictionary", "bist"):
+            article = ("a dictionary" if self.kind == "dictionary"
+                       else "a bist")
             for what, values in (
                     ("march test", self.tests),
                     ("fault list", self.fault_lists),
@@ -302,7 +308,7 @@ class JobSpec:
                     ("lf3 layout", self.lf3_layouts)):
                 if len(values) != 1:
                     raise self._error(
-                        f"a dictionary job takes exactly one {what}, "
+                        f"{article} job takes exactly one {what}, "
                         f"got {len(values)}")
 
     def _validate_fleet(self) -> None:
@@ -490,7 +496,7 @@ class JobSpec:
                 "faults": _fault_list_key(self.fault_lists[0]),
                 "limit": self.exhaustive_limit,
             }
-            if self.kind == "dictionary":
+            if self.kind in ("dictionary", "bist"):
                 material.update({
                     "size": self.memory_sizes[0],
                     "lf3": self.lf3_layouts[0],
@@ -566,6 +572,8 @@ class JobRunner:
             result = self._run_campaign(spec)
         elif spec.kind == "dictionary":
             result = self._run_dictionary(spec)
+        elif spec.kind == "bist":
+            result = self._run_bist(spec)
         else:
             result = self._run_fleet(spec)
         result.wall_seconds = perf_counter() - start
@@ -629,6 +637,39 @@ class JobRunner:
             store_hits=dictionary.store_hits,
             store_misses=dictionary.store_misses,
             result=dictionary,
+        )
+
+    def _run_bist(self, spec: JobSpec) -> JobResult:
+        """Compile the march into a BIST program and verify it.
+
+        The report bytes are the canonical netlist JSON (+ newline) --
+        deterministic, backend-independent, ``cmp``-identical to the
+        CLI's ``repro-march bist --json`` artifact -- and ``ok`` is
+        the trace-equivalence verdict, so a served netlist is always
+        a *verified* netlist.
+        """
+        from repro.analysis.bist import compile_march
+        from repro.sim.bist import verify_program
+
+        test = resolve_test(spec.tests[0])
+        program = compile_march(
+            test, width=spec.width,
+            backgrounds=spec.backgrounds_spec())
+        verification = verify_program(
+            program, test,
+            _faults(spec.fault_lists[0]),
+            memory_size=spec.memory_sizes[0],
+            lf3_layout=spec.lf3_layouts[0],
+            backend=spec.backend,
+            exhaustive_limit=spec.exhaustive_limit,
+        )
+        return JobResult(
+            spec=spec,
+            ok=verification.equivalent,
+            summary=verification.summary(),
+            report_bytes=(program.to_json() + "\n").encode("utf-8"),
+            simulations=verification.simulated_runs,
+            result=(program, verification),
         )
 
     def _run_fleet(self, spec: JobSpec) -> JobResult:

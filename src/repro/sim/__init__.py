@@ -61,9 +61,7 @@ __all__ = [
     "make_memory",
     "register_backend",
     "resolve_backend",
-    "BACKENDS",
     "SparseMemory",
-    "sparse_supported",
     "DetectionSite",
     "run_march",
     "detects_instance",
@@ -75,16 +73,3 @@ __all__ = [
     "CampaignResult",
     "CoverageCampaign",
 ]
-
-
-def __getattr__(name: str):
-    # The deprecated string-dispatch shims are forwarded lazily so
-    # importing this package stays warning-free; touching them routes
-    # through :mod:`repro.sim.sparse`, whose shims emit the
-    # DeprecationWarning and name the registry replacement.
-    if name in ("BACKENDS", "sparse_supported"):
-        from repro.sim import sparse
-
-        return getattr(sparse, name)
-    raise AttributeError(
-        f"module {__name__!r} has no attribute {name!r}")

@@ -23,8 +23,8 @@ IncrementalCoverage` a :class:`PlacementBatch` that advances every
   pending placement context of a fault in one packed simulation,
   instead of being driven one context at a time.
 
-The old names survive as thin deprecated shims in
-:mod:`repro.sim.sparse` for one release; all in-repo callers go
+The old :mod:`repro.sim.sparse` dispatch names survived as deprecated
+shims for one release and were deleted in PR 10; every caller goes
 through this module.
 """
 

@@ -43,7 +43,7 @@ byte-identical coverage reports against the dense oracle.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import List, NamedTuple, Optional, Sequence, Tuple
+from typing import List, NamedTuple, Optional, Tuple
 
 from repro.faults.operations import OpKind, Operation
 from repro.faults.primitives import PreviousOperation
@@ -61,67 +61,14 @@ from repro.memory.sram import (
     partition_primitives,
     replay_visits_with_cycle_detection,
 )
-from repro.sim import backends as _backends
-from repro.sim.backends import SPARSE_AUTO_MIN_SIZE as SPARSE_AUTO_MIN_SIZE
-from repro.sim.backends import kernel_supported
 from repro.sim.batch import cached_segment_walks, register_cache
 
-# ----------------------------------------------------------------------
-# Deprecated backend-dispatch shims
-# ----------------------------------------------------------------------
-# Backend selection moved to the first-class registry in
-# :mod:`repro.sim.backends`.  The names below survive strictly for
-# out-of-repo callers and are deleted in PR 10: they now warn on
-# every use, and the hygiene suite
-# (``tests/test_fleet.py::TestShimHygiene``) fails the build if any
-# in-repo module touches them.  ``BACKENDS`` is served through the
-# module ``__getattr__`` below so even a bare attribute access warns.
-
-def _warn_shim(name: str, replacement: str) -> None:
-    import warnings
-
-    warnings.warn(
-        f"repro.sim.sparse.{name} is deprecated since the backend "
-        f"registry replaced the string dispatch; use "
-        f"repro.sim.backends.{replacement} instead.  The shim will "
-        f"be removed in PR 10.",
-        DeprecationWarning, stacklevel=3)
-
-
-def __getattr__(name: str):
-    # PEP 562: BACKENDS is no longer a module constant, so reading it
-    # emits the same DeprecationWarning the callable shims do.
-    if name == "BACKENDS":
-        _warn_shim("BACKENDS", "backend_names()")
-        return _backends.backend_names()
-    raise AttributeError(
-        f"module {__name__!r} has no attribute {name!r}")
-
-
-def sparse_supported(fault: object) -> bool:
-    """Deprecated: use :func:`repro.sim.backends.kernel_supported`."""
-    _warn_shim("sparse_supported", "kernel_supported")
-    return kernel_supported(fault)
-
-
-def resolve_backend(
-    backend: str,
-    faults: Sequence[object] = (),
-    memory_size: Optional[int] = None,
-) -> str:
-    """Deprecated: use :func:`repro.sim.backends.resolve_backend`."""
-    _warn_shim("resolve_backend", "resolve_backend")
-    return _backends.resolve_backend(backend, faults, memory_size)
-
-
-def make_memory(
-    memory_size: int,
-    fault: Optional[FaultInstance] = None,
-    backend: str = "auto",
-) -> FaultyMemory:
-    """Deprecated: use :func:`repro.sim.backends.make_memory`."""
-    _warn_shim("make_memory", "make_memory")
-    return _backends.make_memory(memory_size, fault, backend)
+# Backend selection lives in the first-class registry
+# (:mod:`repro.sim.backends`).  The string-dispatch shims that used to
+# sit here (``BACKENDS``, ``resolve_backend``, ``make_memory``,
+# ``sparse_supported``) were deleted in PR 10 after a one-PR
+# deprecation window; ``tests/test_fleet.py::TestShimHygiene`` pins
+# both their absence and the warning-free import of this module.
 
 
 def blank_snapshot(bound_cells: int) -> int:

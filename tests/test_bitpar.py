@@ -370,21 +370,6 @@ class TestRegistry:
         assert "bitpar" in alternative_backends()
         assert "dense" not in alternative_backends()
 
-    def test_deprecated_shims_delegate_and_warn(self):
-        from repro.sim import sparse
-
-        with pytest.warns(DeprecationWarning, match="BACKENDS"):
-            names = sparse.BACKENDS
-        assert set(names) == set(backends.backend_names())
-        with pytest.warns(DeprecationWarning, match="resolve_backend"):
-            assert sparse.resolve_backend("bitpar") == "bitpar"
-        with pytest.warns(DeprecationWarning,
-                          match="sparse_supported"):
-            assert sparse.sparse_supported(None)
-        with pytest.warns(DeprecationWarning, match="make_memory"):
-            assert isinstance(
-                sparse.make_memory(8, None, "sparse"), SparseMemory)
-
     def test_report_key_spot_check(self):
         # Belt-and-braces: one direct three-way comparison outside the
         # shared helper, in case the helper itself regresses.

@@ -8,15 +8,42 @@ from repro.analysis.codegen import (
     to_c_function,
     to_vector_list,
 )
-from repro.march.known import MARCH_ABL1, MARCH_SL
+from repro.march.known import ALL_KNOWN, MARCH_ABL1, MARCH_SL
 from repro.march.test import parse_march
 
 
 class TestCIdentifier:
     def test_mangling(self):
+        # Names whose only non-alphanumerics are spaces mangle
+        # losslessly -- no hash suffix.
         assert _c_identifier("March ABL") == "march_abl"
-        assert _c_identifier("March C-") == "march_c"
         assert _c_identifier("43n March Test") == "march_43n_march_test"
+
+    def test_lossy_names_get_hash_suffix(self):
+        identifier = _c_identifier("March C-")
+        assert identifier.startswith("march_c_")
+        suffix = identifier[len("march_c_"):]
+        assert len(suffix) == 8
+        assert all(ch in "0123456789abcdef" for ch in suffix)
+
+    def test_distinct_names_never_collide(self):
+        # The regression of the PR 10 bugfix: "March C-" and
+        # "March C+" used to both mangle to "march_c", silently
+        # emitting identically-named C functions.
+        assert _c_identifier("March C-") != _c_identifier("March C+")
+        assert _c_identifier("March C-") == _c_identifier("March C-")
+
+    def test_known_march_identifiers_are_distinct(self):
+        identifiers = [_c_identifier(name) for name in ALL_KNOWN]
+        assert len(set(identifiers)) == len(identifiers)
+
+    def test_identifiers_are_valid_c(self):
+        hard = ["March C-", "March C+", "++", "43n Test", "", "a b"]
+        for name in hard + list(ALL_KNOWN):
+            identifier = _c_identifier(name)
+            assert identifier
+            assert not identifier[0].isdigit()
+            assert all(ch.isalnum() or ch == "_" for ch in identifier)
 
 
 class TestCFunction:
@@ -75,6 +102,58 @@ class TestVectorList:
         vectors = to_vector_list(
             parse_march("c(w0) U(r)", name="free"), n=1)
         assert vectors[-1] == "R 0 -"
+
+
+class TestVectorListEngineDifferential:
+    """``to_vector_list`` must agree with the simulator, op for op.
+
+    The emitted vector list is an artifact testers replay literally,
+    so any drift in address order or expectations between it and the
+    canonical engine walk (`signature_runs`'s all-ascending first run)
+    is a shipped bug.  Two directions:
+
+    * addresses/kinds/write-values against the engine's recorded
+      primitive-operation trace on a golden memory;
+    * full lines (including read expectations, which the engine trace
+      does not carry) against the BIST interpreter's vector view of
+      the compiled program.
+    """
+
+    @pytest.mark.parametrize("name", sorted(ALL_KNOWN))
+    @pytest.mark.parametrize("n", (2, 3))
+    def test_agrees_with_engine_trace(self, name, n):
+        from repro.sim.bist import RecordingMemory
+        from repro.sim.coverage import signature_runs
+        from repro.sim.engine import run_march
+
+        test = ALL_KNOWN[name].test
+        background, resolution = signature_runs(test)[0]
+        assert background is None
+        assert not any(resolution)  # canonical first run: ascending
+        memory = RecordingMemory(n)
+        run_march(test, memory, resolution)
+        engine_ops = memory.trace
+        vector_ops = []
+        for line in to_vector_list(test, n):
+            kind, address, value = line.split()
+            if kind == "W":
+                vector_ops.append(("W", int(address), int(value)))
+            elif kind == "R":
+                vector_ops.append(("R", int(address)))
+            else:
+                vector_ops.append(("T",))
+        assert vector_ops == engine_ops
+
+    @pytest.mark.parametrize("name", sorted(ALL_KNOWN))
+    def test_agrees_with_bist_interpreter(self, name):
+        from repro.analysis.bist import compile_march
+        from repro.sim.bist import BistInterpreter
+
+        test = ALL_KNOWN[name].test
+        interpreter = BistInterpreter(compile_march(test))
+        for n in (1, 2, 4):
+            assert interpreter.operation_vectors(n) \
+                == to_vector_list(test, n)
 
 
 class TestTestTime:

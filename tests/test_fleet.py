@@ -529,52 +529,48 @@ class TestResumeCommandQuoting:
 
 
 # ----------------------------------------------------------------------
-# Deprecated dispatch shims: warning + in-repo import hygiene
+# Deleted dispatch shims: names gone + in-repo import hygiene
 # ----------------------------------------------------------------------
 
 class TestShimHygiene:
     SHIM_NAMES = ("BACKENDS", "resolve_backend", "make_memory",
                   "sparse_supported")
 
-    def test_every_shim_warns(self):
+    def test_shims_are_gone(self):
+        # The deprecation horizon named in the PR 6 warnings has
+        # arrived: the old repro.sim.sparse dispatch names no longer
+        # exist at all -- not even as warning stubs.
         from repro.sim import sparse
 
-        with pytest.warns(DeprecationWarning, match="BACKENDS"):
-            sparse.BACKENDS
-        with pytest.warns(DeprecationWarning, match="resolve_backend"):
-            sparse.resolve_backend("dense")
-        with pytest.warns(DeprecationWarning, match="make_memory"):
-            sparse.make_memory(3)
-        with pytest.warns(DeprecationWarning,
-                          match="sparse_supported"):
-            sparse.sparse_supported(None)
+        for name in self.SHIM_NAMES:
+            with pytest.raises(AttributeError):
+                getattr(sparse, name)
 
-    def test_warning_names_the_replacement_and_horizon(self):
-        from repro.sim import sparse
+    def test_package_namespace_is_clean(self):
+        import repro.sim
 
-        with pytest.warns(DeprecationWarning) as caught:
-            sparse.resolve_backend("dense")
-        message = str(caught[0].message)
-        assert "repro.sim.backends" in message
-        assert "removed" in message
-        # The deletion horizon is a named PR, not a vague "soon":
-        # PR 10 deletes the shims (see ROADMAP.md).
-        assert "PR 10" in message
+        assert "BACKENDS" not in repro.sim.__all__
+        assert "sparse_supported" not in repro.sim.__all__
+        for name in ("BACKENDS", "sparse_supported"):
+            with pytest.raises(AttributeError):
+                getattr(repro.sim, name)
 
     def test_package_import_is_warning_free(self):
-        # Importing the package tree must never touch a shim; run in
-        # a fresh interpreter with DeprecationWarning escalated.
+        # Importing the package tree (including the old shim host
+        # module itself) must be silent under escalated
+        # DeprecationWarning in a fresh interpreter.
         subprocess.run(
             [sys.executable, "-W", "error::DeprecationWarning", "-c",
-             "import repro, repro.sim, repro.diagnosis, repro.cli"],
+             "import repro, repro.sim, repro.sim.sparse, "
+             "repro.diagnosis, repro.cli"],
             check=True, cwd=str(REPO_ROOT),
             env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": ""},
         )
 
     def test_no_in_repo_shim_imports(self):
         # The lint half of the satellite: no first-party module may
-        # import the deprecated names from repro.sim.sparse (or reach
-        # them as attributes).  tests/ may -- they pin the shims.
+        # import the deleted names from repro.sim.sparse (or reach
+        # them as attributes).  Zero src/ references, enforced.
         pattern = re.compile(
             r"from\s+repro\.sim\.sparse\s+import\s+([^\n]+)"
             r"|repro\.sim\.sparse\.(\w+)"
